@@ -1,0 +1,135 @@
+// Command fhgen generates K-DAG job files from the paper's workload
+// distributions, or from the Theorem 2 adversarial construction, and
+// writes them as JSON (the job-file format of cmd/fhsched) or
+// Graphviz DOT.
+//
+// Usage:
+//
+//	fhgen -class ep|tree|ir|adversarial|figure1 [-typing layered|random]
+//	      [-k K] [-seed S] [-format json|dot] [-m M] [-procs P1,P2,...]
+//	      [-o FILE]
+//
+// Examples:
+//
+//	fhgen -class ep -typing layered -k 4 -seed 7 > job.json
+//	fhgen -class tree -format dot | dot -Tpng > tree.png
+//	fhgen -class adversarial -procs 3,3,3,3 -m 4 > bad.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"fhs/internal/dag"
+	"fhs/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fhgen: ")
+	var (
+		class  = flag.String("class", "ep", "workload class: ep, tree, ir, adversarial or figure1")
+		typing = flag.String("typing", "layered", "task typing: layered or random")
+		k      = flag.Int("k", 4, "number of resource types")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "json", "output format: json or dot")
+		m      = flag.Int("m", 4, "adversarial parameter M")
+		procs  = flag.String("procs", "", "adversarial pool sizes, e.g. 3,3,3,3 (default 3 per type)")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := generate(*class, *typing, *k, *m, *procs, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "json":
+		err = dag.WriteGraph(w, g)
+	case "dot":
+		err = dag.WriteDOT(w, g, *class)
+	default:
+		err = fmt.Errorf("unknown format %q (want json or dot)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fhgen: %d tasks, K=%d, span=%d, total work=%d\n",
+		g.NumTasks(), g.K(), g.Span(), g.TotalWork())
+}
+
+func generate(class, typing string, k, m int, procs string, rng *rand.Rand) (*dag.Graph, error) {
+	var ty workload.Typing
+	switch strings.ToLower(typing) {
+	case "layered":
+		ty = workload.Layered
+	case "random":
+		ty = workload.Random
+	default:
+		return nil, fmt.Errorf("unknown typing %q (want layered or random)", typing)
+	}
+	switch strings.ToLower(class) {
+	case "ep":
+		return workload.Generate(workload.DefaultEP(k, ty), rng)
+	case "tree":
+		return workload.Generate(workload.DefaultTree(k, ty), rng)
+	case "ir":
+		return workload.Generate(workload.DefaultIR(k, ty), rng)
+	case "figure1":
+		return dag.Figure1(), nil
+	case "adversarial":
+		pools, err := parsePools(procs, k)
+		if err != nil {
+			return nil, err
+		}
+		job, err := workload.Adversarial(workload.AdversarialConfig{Procs: pools, M: m}, rng)
+		if err != nil {
+			return nil, err
+		}
+		return job.Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown class %q (want ep, tree, ir, adversarial or figure1)", class)
+	}
+}
+
+func parsePools(spec string, k int) ([]int, error) {
+	if spec == "" {
+		pools := make([]int, k)
+		for i := range pools {
+			pools[i] = 3
+		}
+		return pools, nil
+	}
+	parts := strings.Split(spec, ",")
+	pools := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad pool size %q: %v", p, err)
+		}
+		pools = append(pools, v)
+	}
+	return pools, nil
+}

@@ -1,0 +1,139 @@
+// Command fhsched schedules a single K-DAG job file on a described
+// machine and reports the completion time, the lower bound, the
+// completion-time ratio and per-type utilization — optionally with a
+// full execution trace.
+//
+// Usage:
+//
+//	fhsched -job FILE -procs P1,P2,... [-sched NAME] [-preemptive]
+//	        [-seed S] [-trace] [-gantt] [-analyze] [-all]
+//
+// Examples:
+//
+//	fhgen -class ep -k 2 > job.json
+//	fhsched -job job.json -procs 3,3 -sched MQB
+//	fhsched -job job.json -procs 3,3 -all        # compare all six
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"fhs/internal/analyze"
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/metrics"
+	"fhs/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fhsched: ")
+	var (
+		jobPath    = flag.String("job", "", "job file (JSON, as written by fhgen)")
+		procsSpec  = flag.String("procs", "", "pool sizes per type, e.g. 3,3,3,3")
+		schedName  = flag.String("sched", "MQB", "scheduler name (see fhs docs); ignored with -all")
+		preemptive = flag.Bool("preemptive", false, "use preemptive scheduling")
+		seed       = flag.Int64("seed", 1, "seed for randomized scheduler variants")
+		trace      = flag.Bool("trace", false, "print the execution trace")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		analyzeF   = flag.Bool("analyze", false, "print a schedule quality analysis (starvation, waits, queues)")
+		all        = flag.Bool("all", false, "compare all six paper schedulers")
+	)
+	flag.Parse()
+	if *jobPath == "" || *procsSpec == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*jobPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := dag.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	procs, err := parsePools(*procsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := metrics.LowerBound(g, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job: %d tasks, K=%d, span=%d, total work=%d, lower bound=%.1f\n",
+		g.NumTasks(), g.K(), g.Span(), g.TotalWork(), lb)
+
+	names := []string{*schedName}
+	if *all {
+		names = core.Names()
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheduler\tcompletion\tratio\tutilization")
+	for _, name := range names {
+		s, err := core.New(name, core.Params{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(g, s, sim.Config{
+			Procs:        procs,
+			Preemptive:   *preemptive,
+			CollectTrace: *trace || *gantt || *analyzeF,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		utils := make([]string, len(res.Utilization))
+		for i, u := range res.Utilization {
+			utils[i] = fmt.Sprintf("%.2f", u)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%s\n",
+			s.Name(), res.CompletionTime, metrics.Ratio(res.CompletionTime, lb), strings.Join(utils, " "))
+		if *trace {
+			tw.Flush()
+			for _, ev := range res.Trace {
+				fmt.Printf("  t=%-6d %-8s task=%-5d type=%d\n", ev.Time, ev.Kind, ev.Task, ev.Type)
+			}
+		}
+		if *gantt {
+			tw.Flush()
+			if err := sim.WriteGantt(os.Stdout, g, &res, procs, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *analyzeF {
+			tw.Flush()
+			rep, err := analyze.Analyze(g, &res, procs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := analyze.WriteReport(os.Stdout, rep); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parsePools(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	pools := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad pool size %q: %v", p, err)
+		}
+		pools = append(pools, v)
+	}
+	return pools, nil
+}

@@ -1,0 +1,154 @@
+// Command fhsim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	fhsim [-figure 4|5|6|7|8|all] [-instances N] [-seed S] [-workers W]
+//	      [-csv FILE] [-svg DIR] [-match SUBSTR] [-quiet]
+//
+// Each figure expands to its experiment panels (see internal/exp);
+// fhsim runs them, prints aligned text tables, a one-line summary per
+// panel, and optionally a flat CSV of all rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"fhs/internal/exp"
+	"fhs/internal/plot"
+)
+
+// writeSVGs renders one bar chart per panel plus one line chart per
+// K-sweep group (panels named "... , K=<n>").
+func writeSVGs(dir string, tables []exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := regexp.MustCompile(`[^A-Za-z0-9]+`)
+	fileFor := func(name string) string {
+		return filepath.Join(dir, strings.Trim(slug.ReplaceAllString(name, "_"), "_")+".svg")
+	}
+	sweep := regexp.MustCompile(`^(.*), K=(\d+)$`)
+	groups := map[string][]exp.Table{}
+	labels := map[string][]string{}
+	var order []string
+	for _, t := range tables {
+		f, err := os.Create(fileFor(t.Name))
+		if err != nil {
+			return err
+		}
+		err = plot.WriteBarSVG(f, t)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if m := sweep.FindStringSubmatch(t.Name); m != nil {
+			if _, ok := groups[m[1]]; !ok {
+				order = append(order, m[1])
+			}
+			groups[m[1]] = append(groups[m[1]], t)
+			labels[m[1]] = append(labels[m[1]], "K="+m[2])
+		}
+	}
+	for _, name := range order {
+		if len(groups[name]) < 2 {
+			continue
+		}
+		f, err := os.Create(fileFor(name + " sweep"))
+		if err != nil {
+			return err
+		}
+		err = plot.WriteLinesSVG(f, name, groups[name], labels[name])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fhsim: ")
+	var (
+		figure    = flag.String("figure", "all", "figure to reproduce: 4, 5, 6, 7, 8 or all")
+		instances = flag.Int("instances", 1000, "job instances per plotted point (paper: 5000)")
+		seed      = flag.Int64("seed", 1, "root random seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+		match     = flag.String("match", "", "only run panels whose name contains this substring")
+		svgDir    = flag.String("svg", "", "also write one SVG chart per panel (and per sweep) to this directory")
+		quiet     = flag.Bool("quiet", false, "print only per-panel summaries")
+	)
+	flag.Parse()
+
+	figs := exp.Figures()
+	var names []string
+	if *figure == "all" {
+		for name := range figs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		if _, ok := figs[*figure]; !ok {
+			log.Fatalf("unknown figure %q (want 4, 5, 6, 7, 8 or all)", *figure)
+		}
+		names = []string{*figure}
+	}
+
+	opts := exp.Options{Instances: *instances, Seed: *seed, Workers: *workers}
+	var all []exp.Table
+	for _, name := range names {
+		specs := figs[name](opts)
+		for _, spec := range specs {
+			if *match != "" && !strings.Contains(spec.Name, *match) {
+				continue
+			}
+			start := time.Now()
+			table, err := exp.Run(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !*quiet {
+				if err := exp.WriteTable(os.Stdout, table); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("%s [%.1fs]\n", exp.Summarize(table), time.Since(start).Seconds())
+			all = append(all, table)
+		}
+	}
+
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, all); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote SVG charts to %s\n", *svgDir)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.WriteCSV(f, all); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,105 @@
+// Cosmos: a Scope-style data-analysis job on server classes.
+//
+// The paper motivates K-DAG scheduling with Cosmos, Microsoft's
+// map-reduce-style analysis platform behind Bing: a Scope program
+// compiles to a DAG of stages, each stage fans out over servers, and
+// servers cluster into classes by data placement — the classes act as
+// functionally heterogeneous resources because tasks are not assigned
+// across classes.
+//
+// This example builds a synthetic Scope job — extract, partition,
+// aggregate, join, output stages spread over three server classes —
+// and compares all six schedulers from the paper on it. Run with:
+//
+//	go run ./examples/cosmos
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fhs"
+)
+
+// stage describes one Scope operator: how many parallel tasks, which
+// server class owns the data, and per-task work.
+type stage struct {
+	name  string
+	class fhs.ResourceType
+	tasks int
+	work  int64
+}
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(2026))
+
+	// Three server classes (e.g. raw-log store, index store, scratch).
+	stages := []stage{
+		{"extract", 0, 40, 3},   // read raw logs where they live
+		{"partition", 2, 24, 2}, // shuffle to scratch servers
+		{"aggregate", 1, 16, 5}, // combine against the index class
+		{"join", 2, 12, 4},      // join partials on scratch
+		{"output", 0, 6, 2},     // write results back to the log store
+	}
+
+	b := fhs.NewJobBuilder(3)
+	var prev []fhs.TaskID
+	for _, st := range stages {
+		cur := make([]fhs.TaskID, st.tasks)
+		for i := range cur {
+			// Work varies ±50% around the stage nominal, mimicking data
+			// skew across partitions.
+			w := st.work + rng.Int63n(st.work+1) - st.work/2
+			if w < 1 {
+				w = 1
+			}
+			cur[i] = b.AddTask(st.class, w)
+		}
+		// Each task of a stage consumes a sample of the previous
+		// stage's partitions (Scope stages are rarely all-to-all).
+		for _, c := range cur {
+			if len(prev) == 0 {
+				continue
+			}
+			connected := false
+			for _, p := range prev {
+				if rng.Float64() < 0.15 {
+					b.AddEdge(p, c)
+					connected = true
+				}
+			}
+			if !connected {
+				b.AddEdge(prev[rng.Intn(len(prev))], c)
+			}
+		}
+		prev = cur
+	}
+	job, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	procs := []int{8, 4, 6} // servers per class available to this job
+	lb, err := fhs.LowerBound(job, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Scope job: %d tasks over %d server classes, span %d, lower bound %.1f\n\n",
+		job.NumTasks(), job.K(), job.Span(), lb)
+
+	fmt.Printf("%-8s  %10s  %6s\n", "sched", "completion", "ratio")
+	for _, name := range fhs.SchedulerNames() {
+		sched, err := fhs.NewScheduler(name, fhs.SchedulerParams{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := fhs.Simulate(job, sched, fhs.SimConfig{Procs: procs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %10d  %6.3f\n", name, res.CompletionTime,
+			fhs.CompletionRatio(res.CompletionTime, lb))
+	}
+}

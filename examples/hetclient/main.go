@@ -1,0 +1,66 @@
+// Hetclient: a heterogeneous client device (CPU + GPU + DSP) running
+// a batch of layered EP jobs, showing how much completion time MQB
+// recovers over online greedy scheduling as the workload becomes more
+// structured.
+//
+// The program draws layered and random EP jobs from the calibrated
+// distributions and reports the average completion-time ratio of
+// KGreedy and MQB on a small client machine, plus MQB's behaviour
+// under one-step lookahead and noisy estimates (the realistic case
+// where a client predicts task costs from history). Run with:
+//
+//	go run ./examples/hetclient
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fhs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		k         = 3 // CPU, GPU, DSP
+		instances = 200
+	)
+	machines := []int{2, 1, 1}
+	scheds := []string{"KGreedy", "MQB", "MQB+1Step+Pre", "MQB+All+Noise"}
+
+	for _, typing := range []fhs.WorkloadTyping{fhs.LayeredTyping, fhs.RandomTyping} {
+		cfg := fhs.DefaultWorkloadConfig(fhs.EPWorkload, k, typing)
+		sums := make(map[string]float64, len(scheds))
+		for i := 0; i < instances; i++ {
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			job, err := fhs.GenerateWorkload(cfg, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lb, err := fhs.LowerBound(job, machines)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, name := range scheds {
+				sched, err := fhs.NewScheduler(name, fhs.SchedulerParams{Seed: int64(i)})
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := fhs.Simulate(job, sched, fhs.SimConfig{Procs: machines})
+				if err != nil {
+					log.Fatal(err)
+				}
+				sums[name] += fhs.CompletionRatio(res.CompletionTime, lb)
+			}
+		}
+		fmt.Printf("%v EP on client machine %v (%d instances):\n", typing, machines, instances)
+		for _, name := range scheds {
+			fmt.Printf("  %-16s avg ratio %.3f\n", name, sums[name]/instances)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Structured (layered) workloads reward lookahead; random ones don't —")
+	fmt.Println("the same contrast the paper's Figure 4 reports.")
+}

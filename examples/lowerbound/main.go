@@ -1,0 +1,80 @@
+// Lowerbound: an empirical demonstration of Theorem 2.
+//
+// The program draws adversarial K-DAG instances (Figure 2 of the
+// paper), runs the online KGreedy scheduler on them, and compares its
+// mean completion time against
+//
+//   - the offline optimum T* = K − 1 + M·PK (achieved by running the
+//     hidden "active" tasks first), and
+//   - the theoretical expectation lower bound for any online algorithm
+//     from the proof of Theorem 2.
+//
+// As K grows, KGreedy's competitive ratio on these jobs climbs toward
+// K + 1 − Σα 1/(Pα+1) − 1/(Pmax+1): online scheduling degrades
+// linearly in the number of resource types. Run with:
+//
+//	go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fhs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		perType   = 3
+		m         = 6
+		instances = 50
+	)
+
+	fmt.Printf("%2s  %10s  %12s  %14s  %12s  %12s\n",
+		"K", "optimum", "mean online", "theory online", "online/opt", "Thm 2 bound")
+	for k := 1; k <= 6; k++ {
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = perType
+		}
+		opt, err := fhs.AdversarialOptimum(procs, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		theory, err := fhs.AdversarialExpectedOnline(procs, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound, err := fhs.OnlineLowerBound(procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var mean float64
+		for i := 0; i < instances; i++ {
+			rng := rand.New(rand.NewSource(int64(k*10_000 + i)))
+			job, err := fhs.NewAdversarialJob(fhs.AdversarialConfig{Procs: procs, M: m}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sched, err := fhs.NewScheduler("KGreedy", fhs.SchedulerParams{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := fhs.Simulate(job.Graph, sched, fhs.SimConfig{Procs: procs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mean += float64(res.CompletionTime)
+		}
+		mean /= instances
+
+		fmt.Printf("%2d  %10d  %12.1f  %14.1f  %12.2f  %12.2f\n",
+			k, opt, mean, theory, mean/float64(opt), bound)
+	}
+	fmt.Println("\nonline/opt climbs with K and tracks the Theorem 2 bound from below,")
+	fmt.Println("reproducing the Ω(K) separation between online and offline scheduling.")
+}

@@ -1,0 +1,144 @@
+// Package fhs is a Go library for scheduling parallel jobs on
+// functionally heterogeneous systems (FHS), reproducing He, Liu and
+// Sun, "Scheduling Functionally Heterogeneous Systems with Utilization
+// Balancing" (IPDPS 2011).
+//
+// A job is a K-DAG: a directed acyclic graph of tasks, each task
+// bound to one of K resource types (CPU, GPU, vector unit, server
+// class, ...). The library provides:
+//
+//   - the K-DAG model (build, validate, analyze, serialize),
+//   - a deterministic discrete-time simulator of K typed processor
+//     pools, non-preemptive or preemptive,
+//   - the paper's schedulers: the online KGreedy baseline, the offline
+//     heuristics LSpan, MaxDP, DType and ShiftBT, and the paper's
+//     Multi-Queue Balancing algorithm (MQB) with partial and imprecise
+//     information models,
+//   - the theoretical bounds of the paper (online lower bounds,
+//     KGreedy's guarantee, the adversarial instance's optimum),
+//   - workload generators (EP, Tree, Iterative Reduction; layered or
+//     random typing) and the experiment harness that regenerates the
+//     paper's Figures 4-8.
+//
+// # Quick start
+//
+//	b := fhs.NewJobBuilder(2)                // two resource types
+//	load := b.AddTask(0, 4)                  // a CPU task of work 4
+//	gpu := b.AddTask(1, 8)                   // a GPU task of work 8
+//	b.AddEdge(load, gpu)                     // gpu waits for load
+//	job, err := b.Build()
+//	...
+//	sched, _ := fhs.NewScheduler("MQB", fhs.SchedulerParams{})
+//	res, err := fhs.Simulate(job, sched, fhs.SimConfig{Procs: []int{2, 1}})
+//	fmt.Println(res.CompletionTime)
+//
+// See the examples directory for complete programs.
+package fhs
+
+import (
+	"math/rand"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/exp"
+	"fhs/internal/metrics"
+	"fhs/internal/sim"
+	"fhs/internal/theory"
+	"fhs/internal/workload"
+)
+
+// Model types.
+type (
+	// Job is an immutable K-DAG. Build one with NewJobBuilder or a
+	// workload generator.
+	Job = dag.Graph
+	// JobBuilder incrementally assembles a Job.
+	JobBuilder = dag.Builder
+	// TaskID identifies a task within one Job.
+	TaskID = dag.TaskID
+	// Task is one node of a Job.
+	Task = dag.Task
+	// ResourceType identifies a resource type in [0, K).
+	ResourceType = dag.Type
+)
+
+// Simulation types.
+type (
+	// SimConfig describes the machine and execution mode.
+	SimConfig = sim.Config
+	// SimResult reports completion time and utilization.
+	SimResult = sim.Result
+	// Scheduler is a scheduling policy usable with Simulate.
+	Scheduler = sim.Scheduler
+	// SchedulerParams seeds randomized scheduler variants.
+	SchedulerParams = core.Params
+	// MQBOptions configures Multi-Queue Balancing directly.
+	MQBOptions = core.MQBOptions
+)
+
+// Workload and experiment types.
+type (
+	// WorkloadConfig describes a job distribution (EP, Tree or IR).
+	WorkloadConfig = workload.Config
+	// ResourceRange samples machine pool sizes.
+	ResourceRange = workload.ResourceRange
+	// ExperimentSpec describes one experiment panel.
+	ExperimentSpec = exp.Spec
+	// ExperimentTable is one aggregated experiment panel.
+	ExperimentTable = exp.Table
+)
+
+// NewJobBuilder returns a builder for a job with k resource types.
+func NewJobBuilder(k int) *JobBuilder { return dag.NewBuilder(k) }
+
+// NewScheduler constructs a scheduler by name: "KGreedy", "LSpan",
+// "DType", "MaxDP", "ShiftBT", "MQB", or an MQB information variant
+// such as "MQB+1Step+Noise".
+func NewScheduler(name string, p SchedulerParams) (Scheduler, error) {
+	return core.New(name, p)
+}
+
+// NewMQB constructs Multi-Queue Balancing with explicit options.
+func NewMQB(opts MQBOptions) Scheduler { return core.NewMQB(opts) }
+
+// SchedulerNames returns the six algorithms of the paper's main
+// comparison in presentation order.
+func SchedulerNames() []string { return core.Names() }
+
+// Simulate runs job under sched on the machine described by cfg.
+func Simulate(job *Job, sched Scheduler, cfg SimConfig) (SimResult, error) {
+	return sim.Run(job, sched, cfg)
+}
+
+// LowerBound returns L(J) = max(T∞, maxα T1(J,α)/Pα), the
+// completion-time lower bound used as the ratio denominator.
+func LowerBound(job *Job, procs []int) (float64, error) {
+	return metrics.LowerBound(job, procs)
+}
+
+// CompletionRatio divides a measured completion time by L(J).
+func CompletionRatio(completion int64, lowerBound float64) float64 {
+	return metrics.Ratio(completion, lowerBound)
+}
+
+// GenerateWorkload draws one job from a workload distribution.
+func GenerateWorkload(cfg WorkloadConfig, rng *rand.Rand) (*Job, error) {
+	return workload.Generate(cfg, rng)
+}
+
+// RunExperiment executes one experiment panel.
+func RunExperiment(spec ExperimentSpec) (ExperimentTable, error) {
+	return exp.Run(spec)
+}
+
+// OnlineLowerBound returns the Theorem 2 bound on any randomized
+// online algorithm's competitive ratio for a machine with the given
+// per-type pool sizes.
+func OnlineLowerBound(procs []int) (float64, error) {
+	return theory.RandomizedLowerBound(procs)
+}
+
+// KGreedyUpperBound returns KGreedy's (K+1)-competitive guarantee.
+func KGreedyUpperBound(k int) (float64, error) {
+	return theory.KGreedyUpperBound(k)
+}

@@ -1,0 +1,51 @@
+package fhs
+
+import (
+	"math/rand"
+
+	"fhs/internal/flex"
+)
+
+// Flexible (JIT-compiled) task scheduling — the extension the paper's
+// conclusion poses as an open problem. A flexible task carries a
+// per-type work table and the scheduler picks its execution type at
+// dispatch time.
+type (
+	// FlexJob is an immutable flexible K-DAG.
+	FlexJob = flex.Job
+	// FlexJobBuilder assembles a FlexJob.
+	FlexJobBuilder = flex.Builder
+	// FlexTask is one node of a FlexJob.
+	FlexTask = flex.Task
+	// FlexPolicy decides which ready task a freed processor runs.
+	FlexPolicy = flex.Policy
+	// FlexResult reports a finished flexible simulation.
+	FlexResult = flex.Result
+)
+
+// FlexNoWork marks a type a flexible task cannot execute on.
+const FlexNoWork = flex.NoWork
+
+// NewFlexJobBuilder returns a builder for a flexible job with k types.
+func NewFlexJobBuilder(k int) *FlexJobBuilder { return flex.NewBuilder(k) }
+
+// NewFlexGreedy returns the FIFO dispatch policy (KGreedy analogue).
+func NewFlexGreedy() FlexPolicy { return flex.NewGreedy() }
+
+// NewFlexBestFit returns the fastest-type-first dispatch policy.
+func NewFlexBestFit() FlexPolicy { return flex.NewBestFit() }
+
+// NewFlexBalance returns the MQB-style balance-aware dispatch policy.
+func NewFlexBalance() FlexPolicy { return flex.NewBalance() }
+
+// SimulateFlex runs a flexible job non-preemptively under the policy.
+func SimulateFlex(job *FlexJob, p FlexPolicy, procs []int) (FlexResult, error) {
+	return flex.Run(job, p, procs)
+}
+
+// FlexFromJob derives a flexible job from a rigid one: each task keeps
+// its home type at its original work, and with probability flexFrac
+// becomes JIT-compilable for every other type at work·penalty.
+func FlexFromJob(job *Job, flexFrac, penalty float64, rng *rand.Rand) *FlexJob {
+	return flex.FromGraph(job, flexFrac, penalty, rng)
+}

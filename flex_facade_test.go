@@ -1,0 +1,91 @@
+package fhs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFlexFacadeEndToEnd(t *testing.T) {
+	b := NewFlexJobBuilder(2)
+	load := b.AddTask([]int64{4, FlexNoWork}) // CPU only
+	kern := b.AddTask([]int64{12, 6})         // CPU or GPU; GPU twice as fast
+	b.AddEdge(load, kern)
+	job, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateFlex(job, NewFlexBestFit(), []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime != 10 { // 4 on CPU, then 6 on GPU
+		t.Errorf("completion = %d, want 10", res.CompletionTime)
+	}
+	if res.Placed[1] != 1 {
+		t.Errorf("kernel not placed on GPU: placements %v", res.Placed)
+	}
+}
+
+func TestFlexFacadePolicies(t *testing.T) {
+	names := map[string]FlexPolicy{
+		"FlexGreedy":  NewFlexGreedy(),
+		"FlexBestFit": NewFlexBestFit(),
+		"FlexBalance": NewFlexBalance(),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestFlexFromJobFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	job, err := GenerateWorkload(DefaultWorkloadConfig(EPWorkload, 3, LayeredTyping), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj := FlexFromJob(job, 0.5, 1.5, rng)
+	if fj.NumTasks() != job.NumTasks() {
+		t.Errorf("task count changed: %d -> %d", job.NumTasks(), fj.NumTasks())
+	}
+	res, err := SimulateFlex(fj, NewFlexBalance(), []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := fj.LowerBound([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.CompletionTime) < lb {
+		t.Errorf("completion %d below bound %g", res.CompletionTime, lb)
+	}
+}
+
+func TestWorkloadFacadeHelpers(t *testing.T) {
+	if got := SkewMachine([]int{10, 10}, 5); got[0] != 2 || got[1] != 10 {
+		t.Errorf("SkewMachine = %v", got)
+	}
+	specs, err := FigureSpecs("4", ExperimentOptions{Instances: 3, Seed: 1})
+	if err != nil || len(specs) != 6 {
+		t.Errorf("FigureSpecs: %d specs, %v", len(specs), err)
+	}
+	if _, err := FigureSpecs("99", ExperimentOptions{}); err == nil {
+		t.Error("FigureSpecs accepted unknown figure")
+	}
+	opt, err := AdversarialOptimum([]int{3, 3}, 4)
+	if err != nil || opt != 13 {
+		t.Errorf("AdversarialOptimum = %d, %v", opt, err)
+	}
+	online, err := AdversarialExpectedOnline([]int{3, 3}, 4)
+	if err != nil || online <= float64(opt) {
+		t.Errorf("AdversarialExpectedOnline = %g, %v", online, err)
+	}
+	if SmallMachine.MaxPerType != 5 || MediumMachine.MinPerType != 10 {
+		t.Error("machine presets wrong")
+	}
+	job, err := NewAdversarialJob(AdversarialConfig{Procs: []int{2, 2}, M: 2}, rand.New(rand.NewSource(1)))
+	if err != nil || job.Graph.NumTasks() == 0 {
+		t.Errorf("NewAdversarialJob: %v", err)
+	}
+}

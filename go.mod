@@ -1,0 +1,3 @@
+module fhs
+
+go 1.22

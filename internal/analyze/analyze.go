@@ -1,0 +1,195 @@
+// Package analyze post-processes simulation traces into schedule
+// quality reports: where processor-time went (busy vs starved vs
+// policy idle), how long tasks waited after becoming ready, and how
+// deep the per-type ready queues ran. It answers the diagnostic
+// question behind the paper — *which pools starved, and when* — for a
+// single concrete schedule rather than in aggregate.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+// TypeReport summarizes one resource pool over a schedule.
+type TypeReport struct {
+	Procs int
+
+	// BusyTime is processor-time spent executing tasks of this type.
+	BusyTime int64
+	// StarvedTime is processor-time idle while the pool's ready queue
+	// was empty — idleness no policy could have avoided at that instant
+	// (the interleaving failure mode the paper targets).
+	StarvedTime int64
+	// PolicyIdleTime is processor-time idle while ready work WAS
+	// queued. Work-conserving non-preemptive schedules have none; it
+	// appears when a policy declines work or at preemption boundaries.
+	PolicyIdleTime int64
+
+	// Utilization = BusyTime / (Procs · makespan).
+	Utilization float64
+
+	// MaxQueueLen is the deepest the standing ready queue got, measured
+	// between scheduling instants (readiness and dispatch at the same
+	// instant cancel); QueueArea is the time-integral of queue length
+	// (divide by makespan for the mean).
+	MaxQueueLen int
+	QueueArea   int64
+
+	// WaitMax and WaitTotal aggregate task waiting (first start − ready
+	// instant); WaitCount is the number of tasks of this type.
+	WaitMax   int64
+	WaitTotal int64
+	WaitCount int
+}
+
+// MeanQueueLen returns the time-averaged ready-queue length.
+func (r *TypeReport) MeanQueueLen(makespan int64) float64 {
+	if makespan == 0 {
+		return 0
+	}
+	return float64(r.QueueArea) / float64(makespan)
+}
+
+// MeanWait returns the average task wait.
+func (r *TypeReport) MeanWait() float64 {
+	if r.WaitCount == 0 {
+		return 0
+	}
+	return float64(r.WaitTotal) / float64(r.WaitCount)
+}
+
+// Report is a full schedule analysis.
+type Report struct {
+	Makespan int64
+	Types    []TypeReport
+}
+
+// Analyze reconstructs per-pool accounting from a trace. The trace
+// must cover the whole run (Config.CollectTrace) and the result must
+// be the one the trace came from.
+func Analyze(g *dag.Graph, res *sim.Result, procs []int) (*Report, error) {
+	if len(procs) != g.K() {
+		return nil, fmt.Errorf("analyze: %d pools for a job with K=%d", len(procs), g.K())
+	}
+	if g.NumTasks() > 0 && len(res.Trace) == 0 {
+		return nil, fmt.Errorf("analyze: empty trace (run with CollectTrace)")
+	}
+
+	// Reconstruct per-task first-start and finish times, and per-task
+	// readiness (max parent finish; roots ready at 0).
+	firstStart := make([]int64, g.NumTasks())
+	finish := make([]int64, g.NumTasks())
+	started := make([]bool, g.NumTasks())
+	finished := make([]bool, g.NumTasks())
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case sim.EventStart:
+			if !started[ev.Task] {
+				started[ev.Task] = true
+				firstStart[ev.Task] = ev.Time
+			}
+		case sim.EventFinish:
+			finished[ev.Task] = true
+			finish[ev.Task] = ev.Time
+		}
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if !started[i] || !finished[i] {
+			return nil, fmt.Errorf("analyze: task %d missing from trace", i)
+		}
+	}
+	ready := make([]int64, g.NumTasks())
+	for _, id := range g.Topo() {
+		var r int64
+		for _, p := range g.Parents(id) {
+			if finish[p] > r {
+				r = finish[p]
+			}
+		}
+		ready[id] = r
+	}
+
+	rep := &Report{Makespan: res.CompletionTime, Types: make([]TypeReport, g.K())}
+	for a := range rep.Types {
+		rep.Types[a].Procs = procs[a]
+	}
+
+	// Sweep a change-point timeline per type: queue length changes at
+	// ready/start instants, running count changes at start/preempt/
+	// finish instants. Between change points both are constant, so
+	// idle classification integrates exactly.
+	type delta struct {
+		t          int64
+		queue, run int
+	}
+	deltas := make([][]delta, g.K())
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		a := g.Task(id).Type
+		deltas[a] = append(deltas[a], delta{t: ready[id], queue: +1})
+		w := firstStart[id] - ready[id]
+		rep.Types[a].WaitTotal += w
+		if w > rep.Types[a].WaitMax {
+			rep.Types[a].WaitMax = w
+		}
+		rep.Types[a].WaitCount++
+	}
+	for _, ev := range res.Trace {
+		a := ev.Type
+		switch ev.Kind {
+		case sim.EventStart:
+			deltas[a] = append(deltas[a], delta{t: ev.Time, queue: -1, run: +1})
+		case sim.EventPreempt:
+			deltas[a] = append(deltas[a], delta{t: ev.Time, queue: +1, run: -1})
+		case sim.EventFinish:
+			deltas[a] = append(deltas[a], delta{t: ev.Time, run: -1})
+		}
+	}
+
+	for a := 0; a < g.K(); a++ {
+		ds := deltas[a]
+		sort.SliceStable(ds, func(i, j int) bool { return ds[i].t < ds[j].t })
+		tr := &rep.Types[a]
+		var queue, run int
+		var prev int64
+		flush := func(now int64) {
+			dt := now - prev
+			if dt > 0 {
+				tr.BusyTime += int64(run) * dt
+				idle := int64(procs[a]-run) * dt
+				if queue == 0 {
+					tr.StarvedTime += idle
+				} else {
+					tr.PolicyIdleTime += idle
+				}
+				tr.QueueArea += int64(queue) * dt
+			}
+			prev = now
+		}
+		for i := 0; i < len(ds); {
+			flush(ds[i].t)
+			// Apply every delta at this instant before integrating on.
+			t := ds[i].t
+			for i < len(ds) && ds[i].t == t {
+				queue += ds[i].queue
+				run += ds[i].run
+				i++
+			}
+			if queue < 0 || run < 0 || run > procs[a] {
+				return nil, fmt.Errorf("analyze: inconsistent trace for type %d at t=%d (queue=%d run=%d)", a, t, queue, run)
+			}
+			if queue > tr.MaxQueueLen {
+				tr.MaxQueueLen = queue
+			}
+		}
+		flush(res.CompletionTime)
+		if res.CompletionTime > 0 {
+			tr.Utilization = float64(tr.BusyTime) / (float64(procs[a]) * float64(res.CompletionTime))
+		}
+	}
+	return rep, nil
+}

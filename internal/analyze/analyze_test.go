@@ -1,0 +1,233 @@
+package analyze
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+func runTraced(t *testing.T, g *dag.Graph, procs []int, preemptive bool) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(g, core.NewKGreedy(), sim.Config{Procs: procs, CollectTrace: true, Preemptive: preemptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	// Chain type0(w2) -> type1(w3) on one processor each: pool 0 is
+	// starved for 3 units after its task, pool 1 starved for the first
+	// 2 units; waits are zero.
+	b := dag.NewBuilder(2)
+	x := b.AddTask(0, 2)
+	y := b.AddTask(1, 3)
+	b.AddEdge(x, y)
+	g := b.MustBuild()
+	procs := []int{1, 1}
+	res := runTraced(t, g, procs, false)
+	rep, err := Analyze(g, res, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 5 {
+		t.Fatalf("makespan = %d", rep.Makespan)
+	}
+	t0, t1 := &rep.Types[0], &rep.Types[1]
+	if t0.BusyTime != 2 || t0.StarvedTime != 3 || t0.PolicyIdleTime != 0 {
+		t.Errorf("type0 accounting = busy %d starved %d policy %d, want 2/3/0", t0.BusyTime, t0.StarvedTime, t0.PolicyIdleTime)
+	}
+	if t1.BusyTime != 3 || t1.StarvedTime != 2 || t1.PolicyIdleTime != 0 {
+		t.Errorf("type1 accounting = busy %d starved %d policy %d, want 3/2/0", t1.BusyTime, t1.StarvedTime, t1.PolicyIdleTime)
+	}
+	if t0.WaitMax != 0 || t1.WaitMax != 0 {
+		t.Errorf("waits = %d,%d want 0,0", t0.WaitMax, t1.WaitMax)
+	}
+	if t0.Utilization != 0.4 || t1.Utilization != 0.6 {
+		t.Errorf("utilization = %g,%g", t0.Utilization, t1.Utilization)
+	}
+}
+
+func TestAnalyzeWaitingTasks(t *testing.T) {
+	// Three unit tasks, one processor: waits are 0, 1, 2 (FIFO order);
+	// the standing queue (measured after dispatch) starts at depth 2.
+	b := dag.NewBuilder(1)
+	for i := 0; i < 3; i++ {
+		b.AddTask(0, 1)
+	}
+	g := b.MustBuild()
+	procs := []int{1}
+	res := runTraced(t, g, procs, false)
+	rep, err := Analyze(g, res, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &rep.Types[0]
+	if tr.WaitTotal != 3 || tr.WaitMax != 2 {
+		t.Errorf("wait total %d max %d, want 3/2", tr.WaitTotal, tr.WaitMax)
+	}
+	if tr.MaxQueueLen != 2 {
+		t.Errorf("max queue = %d, want 2", tr.MaxQueueLen)
+	}
+	if tr.StarvedTime != 0 || tr.PolicyIdleTime != 0 {
+		t.Errorf("idle = %d/%d, want 0/0", tr.StarvedTime, tr.PolicyIdleTime)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	g := dag.Figure1()
+	procs := []int{1, 1, 1}
+	res := runTraced(t, g, procs, false)
+	if _, err := Analyze(g, res, []int{1, 1}); err == nil {
+		t.Error("accepted wrong pool count")
+	}
+	bare := &sim.Result{CompletionTime: 5}
+	if _, err := Analyze(g, bare, procs); err == nil {
+		t.Error("accepted empty trace")
+	}
+}
+
+func TestAnalyzeEmptyJob(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	res := &sim.Result{}
+	rep, err := Analyze(g, res, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 0 || rep.Types[0].BusyTime != 0 {
+		t.Error("empty job should report zeros")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	g := dag.Figure1()
+	procs := []int{2, 1, 1}
+	res := runTraced(t, g, procs, false)
+	rep, err := Analyze(g, res, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"makespan", "starved", "avg wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 5 { // header line + column row + 3 types
+		t.Errorf("unexpected report shape:\n%s", out)
+	}
+}
+
+func TestPropertyAccountingConserves(t *testing.T) {
+	// For every pool: busy + starved + policy idle = P · makespan, and
+	// busy equals the graph's typed work.
+	f := func(seed int64, preemptive bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		g, err := workload.Generate(workload.Default(workload.Class(rng.Intn(3)), k, workload.Random), rng)
+		if err != nil {
+			return false
+		}
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(3)
+		}
+		res, err := sim.Run(g, core.NewKGreedy(), sim.Config{Procs: procs, CollectTrace: true, Preemptive: preemptive})
+		if err != nil {
+			return false
+		}
+		rep, err := Analyze(g, &res, procs)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for a := range rep.Types {
+			tr := &rep.Types[a]
+			if tr.BusyTime != g.TypedWork(dag.Type(a)) {
+				t.Logf("seed %d: type %d busy %d != typed work %d", seed, a, tr.BusyTime, g.TypedWork(dag.Type(a)))
+				return false
+			}
+			total := tr.BusyTime + tr.StarvedTime + tr.PolicyIdleTime
+			if total != int64(procs[a])*rep.Makespan {
+				t.Logf("seed %d: type %d total %d != capacity %d", seed, a, total, int64(procs[a])*rep.Makespan)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNonPreemptiveHasNoPolicyIdleUnderGreedy(t *testing.T) {
+	// KGreedy is work-conserving and non-preemptive runs never return
+	// tasks to queues: any idle capacity coincides with an empty queue.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := workload.Generate(workload.DefaultEP(2, workload.Random), rng)
+		if err != nil {
+			return false
+		}
+		procs := []int{1 + rng.Intn(3), 1 + rng.Intn(3)}
+		res, err := sim.Run(g, core.NewKGreedy(), sim.Config{Procs: procs, CollectTrace: true})
+		if err != nil {
+			return false
+		}
+		rep, err := Analyze(g, &res, procs)
+		if err != nil {
+			return false
+		}
+		for a := range rep.Types {
+			if rep.Types[a].PolicyIdleTime != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStarvationExplainsKGreedyVsMQBOnLayeredEP(t *testing.T) {
+	// The diagnostic the package exists for: on a layered EP job,
+	// KGreedy starves the non-first pools more than MQB does.
+	rng := rand.New(rand.NewSource(42))
+	g, err := workload.Generate(workload.DefaultEP(4, workload.Layered), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []int{3, 3, 3, 3}
+	starved := func(s sim.Scheduler) int64 {
+		res, err := sim.Run(g, s, sim.Config{Procs: procs, CollectTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(g, &res, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for a := 1; a < len(rep.Types); a++ {
+			sum += rep.Types[a].StarvedTime
+		}
+		return sum
+	}
+	kg := starved(core.NewKGreedy())
+	mqb := starved(core.NewMQB(core.MQBOptions{}))
+	if mqb >= kg {
+		t.Errorf("MQB starved %d not below KGreedy %d on layered EP", mqb, kg)
+	}
+}

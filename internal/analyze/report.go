@@ -1,0 +1,24 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteReport renders the analysis as an aligned text table, one row
+// per resource type.
+func WriteReport(w io.Writer, rep *Report) error {
+	if _, err := fmt.Fprintf(w, "schedule analysis: makespan %d\n", rep.Makespan); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "type\tprocs\tutil\tbusy\tstarved\tpolicy-idle\tavg queue\tmax queue\tavg wait\tmax wait")
+	for a := range rep.Types {
+		t := &rep.Types[a]
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%d\t%d\t%d\t%.1f\t%d\t%.1f\t%d\n",
+			a, t.Procs, t.Utilization, t.BusyTime, t.StarvedTime, t.PolicyIdleTime,
+			t.MeanQueueLen(rep.Makespan), t.MaxQueueLen, t.MeanWait(), t.WaitMax)
+	}
+	return tw.Flush()
+}

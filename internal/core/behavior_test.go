@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+// TestLSpanPreemptiveAccountsExecution verifies that a partially
+// executed task's remaining span shrinks: after running for a while it
+// can be overtaken by a queued task with a now-longer remaining span.
+func TestLSpanPreemptiveAccountsExecution(t *testing.T) {
+	// Task A: work 6, no children (span 6). Task B: work 5, no children
+	// (span 5). One processor, preemptive. LSpan starts A; after 2
+	// quanta A's remaining span is 4 < 5, so B preempts it.
+	b := dag.NewBuilder(1)
+	a := b.AddTask(0, 6)
+	bb := b.AddTask(0, 5)
+	g := b.MustBuild()
+	res, err := sim.Run(g, NewLSpan(), sim.Config{Procs: []int{1}, Preemptive: true, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B must start before A finishes.
+	var aFinish, bStart int64 = -1, -1
+	for _, ev := range res.Trace {
+		if ev.Task == a && ev.Kind == sim.EventFinish {
+			aFinish = ev.Time
+		}
+		if ev.Task == bb && ev.Kind == sim.EventStart && bStart < 0 {
+			bStart = ev.Time
+		}
+	}
+	if bStart < 0 || aFinish < 0 {
+		t.Fatal("trace incomplete")
+	}
+	if bStart >= aFinish {
+		t.Errorf("B started at %d, after A finished at %d: no preemption interleave", bStart, aFinish)
+	}
+	if res.CompletionTime != 11 {
+		t.Errorf("completion = %d, want 11 (work conserving)", res.CompletionTime)
+	}
+}
+
+// TestShiftBTOrdersBottleneckFirst builds a job where one type is a
+// clear bottleneck and verifies ShiftBT completes it sensibly (no
+// stall, sane makespan) over several rounds of fixing.
+func TestShiftBTOrdersBottleneckFirst(t *testing.T) {
+	// Type 1 has 3x the work of type 0, interleaved in chains.
+	b := dag.NewBuilder(2)
+	for br := 0; br < 4; br++ {
+		x := b.AddTask(0, 1)
+		y := b.AddTask(1, 3)
+		z := b.AddTask(1, 3)
+		b.AddChain(x, y, z)
+	}
+	g := b.MustBuild()
+	res, err := sim.Run(g, NewShiftBT(), sim.Config{Procs: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound: type-1 work 24 on 2 procs = 12, plus the leading type-0
+	// ramp; a sane schedule lands well under the serial 28.
+	if res.CompletionTime > 20 {
+		t.Errorf("completion = %d, suspiciously high", res.CompletionTime)
+	}
+}
+
+// TestMQBZeroDescendantLeaves pins down MQB's behavior on leaf-only
+// queues (all descendant values zero): the snapshot subtracts the
+// candidate's own remaining work from its queue, so the smallest-work
+// leaf leaves the most work queued and wins — and among equal works,
+// the earliest-ready task wins.
+func TestMQBZeroDescendantLeaves(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddTask(0, 3)
+	b.AddTask(0, 5)
+	smallest := b.AddTask(0, 2)
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewMQB(MQBOptions{}), 0); got != smallest {
+		t.Errorf("first pick = %d, want %d (smallest work keeps the queue fullest)", got, smallest)
+	}
+	b2 := dag.NewBuilder(2)
+	first := b2.AddTask(0, 4)
+	b2.AddTask(0, 4)
+	b2.AddTask(0, 4)
+	g2 := b2.MustBuild()
+	if got := firstPick(t, g2, NewMQB(MQBOptions{}), 0); got != first {
+		t.Errorf("first pick = %d, want %d (FIFO on exact ties)", got, first)
+	}
+}
+
+// TestMQBExpZeroStaysZero checks the exponential perturbation never
+// invents descendants where there are none.
+func TestMQBExpZeroStaysZero(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddTask(0, 1) // leaf: all descendant values zero
+	g := b.MustBuild()
+	m := NewMQB(MQBOptions{Info: InfoExp, Seed: 5})
+	if err := m.Prepare(g, sim.Config{Procs: []int{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		if m.desc[0][a] != 0 {
+			t.Errorf("Exp perturbed a zero descendant to %g", m.desc[0][a])
+		}
+	}
+}
+
+// TestMQBNoisePerturbsZero checks the additive noise term applies even
+// to zero descendants (phantom estimates are the point of the model).
+func TestMQBNoisePerturbsZero(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.AddTask(0, 4)
+	g := b.MustBuild()
+	m := NewMQB(MQBOptions{Info: InfoNoise, Seed: 5})
+	if err := m.Prepare(g, sim.Config{Procs: []int{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for a := 0; a < 2; a++ {
+		if m.desc[0][a] != 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("Noise left every zero descendant untouched (additive term missing)")
+	}
+}
+
+// TestDifferentSeedsUsuallyDiffer is a sanity check that the noise
+// models actually depend on the seed.
+func TestDifferentSeedsUsuallyDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomJob(rng, 2)
+	procs := []int{1, 1}
+	diff := false
+	for s := int64(0); s < 10 && !diff; s++ {
+		r1, err := sim.Run(g, NewMQB(MQBOptions{Info: InfoNoise, Seed: s}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := sim.Run(g, NewMQB(MQBOptions{Info: InfoNoise, Seed: s + 100}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.CompletionTime != r2.CompletionTime {
+			diff = true
+		}
+	}
+	// Not strictly guaranteed, but over 10 seed pairs on a random job a
+	// total tie would indicate the seed is ignored.
+	if !diff {
+		t.Log("note: all seeds produced identical schedules; noise may be inert on this job")
+	}
+}
+
+// TestAllSchedulersHandleSingleProcessorEverything exercises the K=1,
+// P=1 degenerate machine, where every policy must serialize.
+func TestAllSchedulersHandleSingleProcessorEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomJob(rng, 1)
+	for _, name := range append(Names(), MQBVariantNames()...) {
+		s := MustNew(name, Params{Seed: 1})
+		res, err := sim.Run(g, s, sim.Config{Procs: []int{1}})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.CompletionTime != g.TotalWork() {
+			t.Errorf("%s: completion %d != total work %d on a single processor", name, res.CompletionTime, g.TotalWork())
+		}
+	}
+}
+
+// TestDecisionsCounted verifies Result.Decisions counts assignments.
+func TestDecisionsCounted(t *testing.T) {
+	g := dag.Figure1()
+	res, err := sim.Run(g, NewKGreedy(), sim.Config{Procs: []int{2, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions != int64(g.NumTasks()) {
+		t.Errorf("decisions = %d, want %d (one per task, non-preemptive)", res.Decisions, g.NumTasks())
+	}
+}

@@ -1,0 +1,104 @@
+// Package core implements the scheduling policies studied in the
+// paper: the online KGreedy baseline, the four offline heuristics
+// LSpan, MaxDP, DType and ShiftBT, and the paper's contribution, the
+// Multi-Queue Balancing algorithm (MQB) together with its partial- and
+// imprecise-information variants (Section V-G).
+//
+// Every policy implements sim.Scheduler: the simulation engine owns the
+// ready queues and the clock; a policy only answers "which ready α-task
+// should run next?". Offline policies precompute lookahead data from
+// the full K-DAG in Prepare; KGreedy, the only online policy, never
+// touches the graph beyond its K.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"fhs/internal/sim"
+)
+
+// Params configures scheduler construction. Only the randomized MQB
+// information models (Exp, Noise) consume the seed; deterministic
+// policies ignore it.
+type Params struct {
+	// Seed drives the random perturbation of descendant estimates for
+	// MQB+Exp and MQB+Noise. Each constructed scheduler owns a private
+	// rand.Rand, so schedulers built with distinct seeds are independent
+	// and a scheduler reused across jobs draws fresh noise per Prepare.
+	Seed int64
+}
+
+// Names returns the six algorithm names of the paper's main comparison
+// (Figures 4-7) in the paper's presentation order.
+func Names() []string {
+	return []string{"KGreedy", "LSpan", "DType", "MaxDP", "ShiftBT", "MQB"}
+}
+
+// MQBVariantNames returns the scheduler names of the approximated-
+// information study (Figure 8) in the paper's presentation order.
+func MQBVariantNames() []string {
+	return []string{
+		"KGreedy",
+		"MQB+All+Pre", "MQB+All+Exp", "MQB+All+Noise",
+		"MQB+1Step+Pre", "MQB+1Step+Exp", "MQB+1Step+Noise",
+	}
+}
+
+// New constructs a scheduler by name. Recognized names are those from
+// Names and MQBVariantNames (case-insensitive); "MQB" is shorthand for
+// the full-information variant MQB+All+Pre. The ablated balance rules
+// "MQB/MinOnly" and "MQB/Sum" are also registered for the ablation
+// benchmarks.
+func New(name string, p Params) (sim.Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "kgreedy":
+		return NewKGreedy(), nil
+	case "lspan":
+		return NewLSpan(), nil
+	case "dtype":
+		return NewDType(), nil
+	case "maxdp":
+		return NewMaxDP(), nil
+	case "shiftbt":
+		return NewShiftBT(), nil
+	case "mqb", "mqb+all+pre":
+		return NewMQB(MQBOptions{}), nil
+	case "mqb+all+exp":
+		return NewMQB(MQBOptions{Info: InfoExp, Seed: p.Seed}), nil
+	case "mqb+all+noise":
+		return NewMQB(MQBOptions{Info: InfoNoise, Seed: p.Seed}), nil
+	case "mqb+1step+pre":
+		return NewMQB(MQBOptions{Lookahead: LookaheadOneStep}), nil
+	case "mqb+1step+exp":
+		return NewMQB(MQBOptions{Lookahead: LookaheadOneStep, Info: InfoExp, Seed: p.Seed}), nil
+	case "mqb+1step+noise":
+		return NewMQB(MQBOptions{Lookahead: LookaheadOneStep, Info: InfoNoise, Seed: p.Seed}), nil
+	case "mqb/minonly":
+		return NewMQB(MQBOptions{Balance: BalanceMinOnly}), nil
+	case "mqb/sum":
+		return NewMQB(MQBOptions{Balance: BalanceSum}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", name)
+	}
+}
+
+// MustNew is New for statically known names; it panics on error.
+func MustNew(name string, p Params) sim.Scheduler {
+	s, err := New(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// newRand builds the private RNG for a randomized scheduler.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sortFloats sorts in ascending order; split out for clarity at call
+// sites comparing balance vectors.
+func sortFloats(v []float64) { sort.Float64s(v) }

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+func TestRegistryKnowsAllNames(t *testing.T) {
+	for _, name := range append(Names(), MQBVariantNames()...) {
+		s, err := New(name, Params{Seed: 1})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("New(%q) returned nil", name)
+		}
+	}
+}
+
+func TestRegistryCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"kgreedy", "KGREEDY", "mqb+all+noise", "ShiftBT"} {
+		if _, err := New(name, Params{}); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRegistryRejectsUnknown(t *testing.T) {
+	if _, err := New("nope", Params{}); err == nil {
+		t.Error("New accepted unknown name")
+	}
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew("nope", Params{})
+}
+
+func TestSchedulerNames(t *testing.T) {
+	cases := map[string]sim.Scheduler{
+		"KGreedy":         NewKGreedy(),
+		"LSpan":           NewLSpan(),
+		"DType":           NewDType(),
+		"MaxDP":           NewMaxDP(),
+		"ShiftBT":         NewShiftBT(),
+		"MQB":             NewMQB(MQBOptions{}),
+		"MQB+1Step+Pre":   NewMQB(MQBOptions{Lookahead: LookaheadOneStep}),
+		"MQB+All+Exp":     NewMQB(MQBOptions{Info: InfoExp}),
+		"MQB+1Step+Noise": NewMQB(MQBOptions{Lookahead: LookaheadOneStep, Info: InfoNoise}),
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("Name = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+// firstPick runs g on one processor per type and returns the task that
+// started first on pool alpha (ties broken by trace order).
+func firstPick(t *testing.T, g *dag.Graph, s sim.Scheduler, alpha dag.Type) dag.TaskID {
+	t.Helper()
+	procs := make([]int, g.K())
+	for i := range procs {
+		procs[i] = 1
+	}
+	res, err := sim.Run(g, s, sim.Config{Procs: procs, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Trace {
+		if ev.Kind == sim.EventStart && ev.Type == alpha {
+			return ev.Task
+		}
+	}
+	t.Fatalf("no task of type %d ever started", alpha)
+	return dag.NoTask
+}
+
+func TestKGreedyPicksFIFO(t *testing.T) {
+	b := dag.NewBuilder(1)
+	first := b.AddTask(0, 1)
+	b.AddTask(0, 5)
+	b.AddTask(0, 3)
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewKGreedy(), 0); got != first {
+		t.Errorf("KGreedy first pick = %d, want %d (FIFO)", got, first)
+	}
+}
+
+func TestLSpanPicksLongestSpan(t *testing.T) {
+	// Two roots: a short heavy task and a light task heading a long
+	// chain. LSpan must pick the chain head.
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 5) // span 5
+	head := b.AddTask(0, 1)
+	c1 := b.AddTask(0, 3)
+	c2 := b.AddTask(0, 4) // head's span = 1+3+4 = 8
+	b.AddChain(head, c1, c2)
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewLSpan(), 0); got != head {
+		t.Errorf("LSpan first pick = %d, want %d", got, head)
+	}
+}
+
+func TestMaxDPPicksMostDescendants(t *testing.T) {
+	// Root A has 3 children, root B has 1 heavier child; descendant
+	// value of A (3) beats B (2).
+	b := dag.NewBuilder(1)
+	a := b.AddTask(0, 1)
+	bb := b.AddTask(0, 1)
+	for i := 0; i < 3; i++ {
+		b.AddEdge(a, b.AddTask(0, 1))
+	}
+	b.AddEdge(bb, b.AddTask(0, 2))
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewMaxDP(), 0); got != a {
+		t.Errorf("MaxDP first pick = %d, want %d", got, a)
+	}
+}
+
+func TestDTypePicksClosestDifferentType(t *testing.T) {
+	// Root A's different-type descendant is 2 hops away; root B's is a
+	// direct child. DType must pick B.
+	b := dag.NewBuilder(2)
+	a := b.AddTask(0, 1)
+	mid := b.AddTask(0, 1)
+	b.AddEdge(a, mid)
+	b.AddEdge(mid, b.AddTask(1, 1))
+	bb := b.AddTask(0, 1)
+	b.AddEdge(bb, b.AddTask(1, 1))
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewDType(), 0); got != bb {
+		t.Errorf("DType first pick = %d, want %d", got, bb)
+	}
+}
+
+func TestMQBPicksTaskFeedingEmptyQueue(t *testing.T) {
+	// Two ready type-0 tasks: A's child is type 1 (queue empty), B's
+	// child is type 0 (queue already loaded). Balancing the queues
+	// means picking A.
+	b := dag.NewBuilder(2)
+	a := b.AddTask(0, 1)
+	bb := b.AddTask(0, 1)
+	b.AddEdge(a, b.AddTask(1, 4))
+	b.AddEdge(bb, b.AddTask(0, 4))
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewMQB(MQBOptions{}), 0); got != a {
+		t.Errorf("MQB first pick = %d, want %d", got, a)
+	}
+}
+
+func TestMQBOneStepSeesOnlyChildren(t *testing.T) {
+	// A's type-1 payload is two hops away; B's is a direct child.
+	// With one-step lookahead only B shows a type-1 contribution, so
+	// MQB+1Step picks B; full MQB sees A's deeper, heavier payload.
+	b := dag.NewBuilder(2)
+	a := b.AddTask(0, 1)
+	mid := b.AddTask(0, 1)
+	b.AddEdge(a, mid)
+	b.AddEdge(mid, b.AddTask(1, 9))
+	bb := b.AddTask(0, 1)
+	b.AddEdge(bb, b.AddTask(1, 2))
+	g := b.MustBuild()
+	if got := firstPick(t, g, NewMQB(MQBOptions{Lookahead: LookaheadOneStep}), 0); got != bb {
+		t.Errorf("MQB+1Step first pick = %d, want %d", got, bb)
+	}
+	if got := firstPick(t, g, NewMQB(MQBOptions{}), 0); got != a {
+		t.Errorf("MQB+All first pick = %d, want %d", got, a)
+	}
+}
+
+func TestMQBRandomizedVariantsDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomJob(rng, 3)
+	procs := []int{2, 2, 2}
+	for _, info := range []Info{InfoExp, InfoNoise} {
+		r1, err := sim.Run(g, NewMQB(MQBOptions{Info: info, Seed: 7}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := sim.Run(g, NewMQB(MQBOptions{Info: info, Seed: 7}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.CompletionTime != r2.CompletionTime {
+			t.Errorf("%v: same seed gave %d and %d", info, r1.CompletionTime, r2.CompletionTime)
+		}
+	}
+}
+
+func TestMQBInfoStrings(t *testing.T) {
+	if InfoPrecise.String() != "Pre" || InfoExp.String() != "Exp" || InfoNoise.String() != "Noise" {
+		t.Error("Info strings wrong")
+	}
+	if LookaheadAll.String() != "All" || LookaheadOneStep.String() != "1Step" {
+		t.Error("Lookahead strings wrong")
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 2}, []float64{1, 2}, false},
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{1, 3}, []float64{1, 2}, false},
+		{[]float64{0, 9}, []float64{1, 0}, true},
+		{[]float64{2, 0}, []float64{1, 9}, false},
+	}
+	for _, c := range cases {
+		if got := lexLess(c.a, c.b); got != c.want {
+			t.Errorf("lexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestShiftBTFixedOrderRespectsDueDates(t *testing.T) {
+	// Single type: ShiftBT degenerates to earliest-due-date = largest
+	// remaining span first, so the chain head must run before the
+	// standalone short task.
+	b := dag.NewBuilder(1)
+	short := b.AddTask(0, 1) // span 1, due = span(J)-1
+	head := b.AddTask(0, 1)
+	tail := b.AddTask(0, 5)
+	b.AddEdge(head, tail) // head span 6, due 0
+	g := b.MustBuild()
+	got := firstPick(t, g, NewShiftBT(), 0)
+	if got != head {
+		t.Errorf("ShiftBT first pick = %d, want %d (not %d)", got, head, short)
+	}
+}
+
+func TestShiftBTHandlesEmptyAndTrivialGraphs(t *testing.T) {
+	g := dag.NewBuilder(2).MustBuild()
+	res, err := sim.Run(g, NewShiftBT(), sim.Config{Procs: []int{1, 1}})
+	if err != nil || res.CompletionTime != 0 {
+		t.Errorf("empty graph: res=%+v err=%v", res, err)
+	}
+	b := dag.NewBuilder(2)
+	b.AddTask(1, 3)
+	g = b.MustBuild()
+	res, err = sim.Run(g, NewShiftBT(), sim.Config{Procs: []int{1, 1}})
+	if err != nil || res.CompletionTime != 3 {
+		t.Errorf("single task: res=%+v err=%v", res, err)
+	}
+}
+
+// randomJob builds a random K-DAG for property tests.
+func randomJob(rng *rand.Rand, k int) *dag.Graph {
+	n := 1 + rng.Intn(40)
+	b := dag.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		b.AddTask(dag.Type(rng.Intn(k)), 1+rng.Int63n(6))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.12 {
+				b.AddEdge(dag.TaskID(i), dag.TaskID(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestPropertyAllSchedulersCompleteRandomJobs(t *testing.T) {
+	names := append(Names(), MQBVariantNames()...)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		g := randomJob(rng, k)
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(3)
+		}
+		for _, name := range names {
+			s := MustNew(name, Params{Seed: seed})
+			res, err := sim.Run(g, s, sim.Config{Procs: procs})
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			if res.CompletionTime < g.Span() {
+				t.Logf("%s beat the span: %d < %d", name, res.CompletionTime, g.Span())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllSchedulersCompletePreemptively(t *testing.T) {
+	names := Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		g := randomJob(rng, k)
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(3)
+		}
+		for _, name := range names {
+			s := MustNew(name, Params{Seed: seed})
+			res, err := sim.Run(g, s, sim.Config{Procs: procs, Preemptive: true})
+			if err != nil || res.CompletionTime < g.Span() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKGreedyCompetitiveBound(t *testing.T) {
+	// He-Sun-Hsu: greedy completes within Σα T1α/Pα + T∞ on any K-DAG.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		g := randomJob(rng, k)
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(4)
+		}
+		res, err := sim.Run(g, NewKGreedy(), sim.Config{Procs: procs})
+		if err != nil {
+			return false
+		}
+		bound := float64(g.Span())
+		for a, p := range procs {
+			bound += float64(g.TypedWork(dag.Type(a))) / float64(p)
+		}
+		return float64(res.CompletionTime) <= bound+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulersReusableAcrossJobs(t *testing.T) {
+	// The same scheduler value must produce correct results when reused
+	// on different jobs (Prepare must fully reset state).
+	rng := rand.New(rand.NewSource(9))
+	for _, name := range append(Names(), "MQB+All+Noise") {
+		s := MustNew(name, Params{Seed: 3})
+		for i := 0; i < 3; i++ {
+			g := randomJob(rng, 2)
+			res, err := sim.Run(g, s, sim.Config{Procs: []int{2, 2}})
+			if err != nil {
+				t.Errorf("%s reuse %d: %v", name, i, err)
+			}
+			if res.CompletionTime < g.Span() {
+				t.Errorf("%s reuse %d: completion %d < span %d", name, i, res.CompletionTime, g.Span())
+			}
+		}
+	}
+}
+
+func TestOfflineSchedulersBeatKGreedyOnLayeredEP(t *testing.T) {
+	// Statistical check of the paper's core claim on a small layered EP
+	// batch: MQB's mean completion time is well below KGreedy's.
+	var kgreedy, mqb float64
+	const n = 30
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		g := layeredEP(rng, 4, 20, 4)
+		procs := []int{3, 3, 3, 3}
+		rk, err := sim.Run(g, NewKGreedy(), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := sim.Run(g, NewMQB(MQBOptions{}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kgreedy += float64(rk.CompletionTime)
+		mqb += float64(rm.CompletionTime)
+	}
+	if mqb >= kgreedy*0.85 {
+		t.Errorf("MQB mean %0.1f not clearly below KGreedy mean %0.1f", mqb/n, kgreedy/n)
+	}
+}
+
+// layeredEP builds a layered EP job inline (avoiding an import cycle
+// with internal/workload): branches of K segments, segLen tasks each,
+// work 1-2.
+func layeredEP(rng *rand.Rand, k, branches, segLen int) *dag.Graph {
+	b := dag.NewBuilder(k)
+	for br := 0; br < branches; br++ {
+		prev := dag.NoTask
+		for seg := 0; seg < k; seg++ {
+			for i := 0; i < segLen; i++ {
+				id := b.AddTask(dag.Type(seg), 1+rng.Int63n(2))
+				if prev != dag.NoTask {
+					b.AddEdge(prev, id)
+				}
+				prev = id
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMQBBalanceRuleNames(t *testing.T) {
+	if got := NewMQB(MQBOptions{Balance: BalanceMinOnly}).Name(); got != "MQB/MinOnly" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewMQB(MQBOptions{Balance: BalanceSum, Info: InfoExp}).Name(); got != "MQB+All+Exp/Sum" {
+		t.Errorf("Name = %q", got)
+	}
+	if BalanceLex.String() != "Lex" || BalanceMinOnly.String() != "MinOnly" || BalanceSum.String() != "Sum" {
+		t.Error("Balance strings wrong")
+	}
+}
+
+func TestMQBBalanceVariantsComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomJob(rng, 3)
+	for _, bal := range []Balance{BalanceLex, BalanceMinOnly, BalanceSum} {
+		s := NewMQB(MQBOptions{Balance: bal})
+		res, err := sim.Run(g, s, sim.Config{Procs: []int{2, 2, 2}})
+		if err != nil {
+			t.Errorf("%v: %v", bal, err)
+			continue
+		}
+		if res.CompletionTime < g.Span() {
+			t.Errorf("%v: completion %d below span %d", bal, res.CompletionTime, g.Span())
+		}
+	}
+}
+
+func TestMQBMinOnlyDiffersFromLexSomewhere(t *testing.T) {
+	// The lexicographic cascade must actually change decisions on some
+	// instance; otherwise the ablation is vacuous. Scan seeds for a
+	// difference in completion time on layered EP jobs.
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := layeredEP(rng, 4, 20, 4)
+		procs := []int{3, 3, 3, 3}
+		lex, err := sim.Run(g, NewMQB(MQBOptions{}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		minOnly, err := sim.Run(g, NewMQB(MQBOptions{Balance: BalanceMinOnly}), sim.Config{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lex.CompletionTime != minOnly.CompletionTime {
+			return // found a behavioural difference
+		}
+	}
+	t.Error("BalanceLex and BalanceMinOnly never differed over 50 instances")
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+// KGreedy is the online greedy scheduler of Section III: K independent
+// Graham-style greedy schedulers, one per resource type. Whenever a
+// pool has an idle processor and a non-empty ready queue it runs the
+// oldest ready task ("executes any Pα of them" — FIFO makes the choice
+// deterministic). KGreedy is (K+1)-competitive, which matches the
+// online lower bound of Theorem 2 up to lower-order terms.
+//
+// KGreedy is the only online policy in this package: it uses no job
+// information at all, not even task works.
+type KGreedy struct{}
+
+// NewKGreedy returns the online greedy scheduler.
+func NewKGreedy() *KGreedy { return &KGreedy{} }
+
+// Name implements sim.Scheduler.
+func (*KGreedy) Name() string { return "KGreedy" }
+
+// Prepare implements sim.Scheduler. KGreedy is online, so it ignores
+// the graph entirely.
+func (*KGreedy) Prepare(*dag.Graph, sim.Config) error { return nil }
+
+// Pick implements sim.Scheduler: first-in, first-out per type.
+func (*KGreedy) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
+	q := st.Ready(alpha)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	return q[0], true
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+// Lookahead selects how much of the K-DAG's future MQB may consult
+// when estimating descendant values (Section V-G, "partial
+// information").
+type Lookahead int
+
+const (
+	// LookaheadAll uses the full recursive descendant values (MQB+All,
+	// the algorithm of Section IV-A).
+	LookaheadAll Lookahead = iota
+	// LookaheadOneStep restricts descendant values to immediate
+	// children (MQB+1Step).
+	LookaheadOneStep
+)
+
+func (l Lookahead) String() string {
+	if l == LookaheadOneStep {
+		return "1Step"
+	}
+	return "All"
+}
+
+// Info selects the precision of MQB's descendant estimates
+// (Section V-G, "imprecise information").
+type Info int
+
+const (
+	// InfoPrecise uses exact descendant values.
+	InfoPrecise Info = iota
+	// InfoExp replaces each descendant value with an exponentially
+	// distributed random value whose mean is the true value (MQB+Exp).
+	InfoExp
+	// InfoNoise multiplies each descendant value by Uniform(0.5, 1.5)
+	// and adds Uniform(0, averageTaskWork) (MQB+Noise).
+	InfoNoise
+)
+
+func (i Info) String() string {
+	switch i {
+	case InfoExp:
+		return "Exp"
+	case InfoNoise:
+		return "Noise"
+	default:
+		return "Pre"
+	}
+}
+
+// Balance selects how MQB compares two candidate queue snapshots.
+// The paper's rule is BalanceLex; the alternatives exist for ablation
+// studies of that design choice (see bench_test.go).
+type Balance int
+
+const (
+	// BalanceLex is the paper's rule: sort the x-utilizations rα
+	// ascending and compare lexicographically, larger first-difference
+	// wins. Raising the smallest queue dominates; ties cascade to the
+	// next-smallest.
+	BalanceLex Balance = iota
+	// BalanceMinOnly compares only the smallest x-utilization — the
+	// ablated rule without the lexicographic cascade.
+	BalanceMinOnly
+	// BalanceSum compares the total queued work Σ rα — a rule that
+	// measures activation volume but ignores balance entirely.
+	BalanceSum
+)
+
+func (b Balance) String() string {
+	switch b {
+	case BalanceMinOnly:
+		return "MinOnly"
+	case BalanceSum:
+		return "Sum"
+	default:
+		return "Lex"
+	}
+}
+
+// MQBOptions configures an MQB instance. The zero value is the paper's
+// full-information algorithm (MQB+All+Pre).
+type MQBOptions struct {
+	Lookahead Lookahead
+	Info      Info
+	// Balance selects the snapshot comparison rule; the zero value is
+	// the paper's lexicographic rule.
+	Balance Balance
+	// Seed drives the Exp/Noise perturbations; ignored for InfoPrecise.
+	Seed int64
+}
+
+// MQB is the Multi-Queue Balancing algorithm (Section IV-A), the
+// paper's primary contribution. It transforms makespan minimization
+// into utilization balancing: when more than Pα α-tasks are ready, it
+// runs the task whose typed descendant values, added to the per-type
+// ready queues, yield the best balance — where balance compares the
+// vectors of x-utilizations rα = lα/Pα sorted ascending, lexicographically
+// (raising the smallest queue first, since the shortest queue is the
+// likely utilization bottleneck).
+type MQB struct {
+	opts MQBOptions
+	rng  *rand.Rand
+
+	desc [][]float64 // per-task, per-type descendant estimates
+
+	// Scratch buffers reused across Pick calls to stay allocation-free
+	// on the hot path.
+	cand, best []float64
+}
+
+// NewMQB returns a Multi-Queue Balancing scheduler with the given
+// information model.
+func NewMQB(opts MQBOptions) *MQB {
+	m := &MQB{opts: opts}
+	if opts.Info != InfoPrecise {
+		m.rng = newRand(opts.Seed)
+	}
+	return m
+}
+
+// Name implements sim.Scheduler. The full-information variant is
+// plain "MQB"; approximated-information variants carry the paper's
+// Figure 8 labels, e.g. "MQB+1Step+Noise"; ablated balance rules get a
+// "/MinOnly" or "/Sum" suffix.
+func (m *MQB) Name() string {
+	name := "MQB"
+	if m.opts.Lookahead != LookaheadAll || m.opts.Info != InfoPrecise {
+		name = fmt.Sprintf("MQB+%s+%s", m.opts.Lookahead, m.opts.Info)
+	}
+	if m.opts.Balance != BalanceLex {
+		name += "/" + m.opts.Balance.String()
+	}
+	return name
+}
+
+// Prepare implements sim.Scheduler: compute descendant values at the
+// configured lookahead, then perturb them per the information model.
+// A randomized MQB reused across jobs draws fresh noise every Prepare.
+func (m *MQB) Prepare(g *dag.Graph, _ sim.Config) error {
+	if m.opts.Lookahead == LookaheadOneStep {
+		m.desc = dag.OneStepTypedDescendantValues(g)
+	} else {
+		m.desc = dag.TypedDescendantValues(g)
+	}
+	switch m.opts.Info {
+	case InfoPrecise:
+		// Exact values; nothing to do.
+	case InfoExp:
+		for _, row := range m.desc {
+			for a, v := range row {
+				if v > 0 {
+					row[a] = m.rng.ExpFloat64() * v
+				}
+			}
+		}
+	case InfoNoise:
+		avgWork := 0.0
+		if n := g.NumTasks(); n > 0 {
+			avgWork = float64(g.TotalWork()) / float64(n)
+		}
+		for _, row := range m.desc {
+			for a, v := range row {
+				mult := 0.5 + m.rng.Float64() // Uniform(0.5, 1.5)
+				add := m.rng.Float64() * avgWork
+				row[a] = v*mult + add
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown MQB info model %d", m.opts.Info)
+	}
+	m.cand = make([]float64, g.K())
+	m.best = make([]float64, g.K())
+	return nil
+}
+
+// Pick implements sim.Scheduler. For each candidate ready α-task v it
+// forms the hypothetical queue snapshot where v has left the α-queue
+// (removing its remaining work) and v's descendant estimates have been
+// added to every queue, and keeps the candidate whose snapshot has the
+// best balance. Ties keep the earliest-ready candidate.
+func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
+	q := st.Ready(alpha)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	if len(q) == 1 {
+		return q[0], true
+	}
+	k := st.K()
+	best := dag.NoTask
+	var bestScore float64
+	for _, id := range q {
+		row := m.desc[id]
+		for a := 0; a < k; a++ {
+			work := float64(st.QueueWork(dag.Type(a))) + row[a]
+			if dag.Type(a) == alpha {
+				work -= float64(st.Remaining(id))
+			}
+			m.cand[a] = work / float64(st.Procs(dag.Type(a)))
+		}
+		switch m.opts.Balance {
+		case BalanceLex:
+			sortFloats(m.cand)
+			if best == dag.NoTask || lexLess(m.best, m.cand) {
+				best = id
+				m.best, m.cand = m.cand, m.best
+			}
+		case BalanceMinOnly:
+			score := m.cand[0]
+			for _, v := range m.cand[1:] {
+				if v < score {
+					score = v
+				}
+			}
+			if best == dag.NoTask || score > bestScore {
+				best, bestScore = id, score
+			}
+		case BalanceSum:
+			var score float64
+			for _, v := range m.cand {
+				score += v
+			}
+			if best == dag.NoTask || score > bestScore {
+				best, bestScore = id, score
+			}
+		}
+	}
+	return best, true
+}
+
+// lexLess reports whether sorted balance vector a is strictly worse
+// than b in the paper's lexicographic order on ascending
+// x-utilizations: the first differing position decides, and a larger
+// value there means better balance.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

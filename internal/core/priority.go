@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+// pickMax returns the ready alpha-task with the largest score. Ties go
+// to the earliest-ready task because the queue is FIFO-ordered and the
+// comparison is strict. ok is false on an empty queue.
+func pickMax(st *sim.State, alpha dag.Type, score func(dag.TaskID) float64) (dag.TaskID, bool) {
+	q := st.Ready(alpha)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	best := q[0]
+	bestScore := score(best)
+	for _, id := range q[1:] {
+		if s := score(id); s > bestScore {
+			best, bestScore = id, s
+		}
+	}
+	return best, true
+}
+
+// pickMin is pickMax with the order reversed.
+func pickMin(st *sim.State, alpha dag.Type, score func(dag.TaskID) float64) (dag.TaskID, bool) {
+	return pickMax(st, alpha, func(id dag.TaskID) float64 { return -score(id) })
+}

@@ -1,0 +1,363 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a linear K-DAG with the given types, unit work.
+func chain(t *testing.T, k int, types ...Type) *Graph {
+	t.Helper()
+	b := NewBuilder(k)
+	var prev TaskID = NoTask
+	for _, tp := range types {
+		id := b.AddTask(tp, 1)
+		if prev != NoTask {
+			b.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// diamond builds a 4-task diamond: a -> b, a -> c, b -> d, c -> d.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(2)
+	a := b.AddTask(0, 1)
+	b1 := b.AddTask(1, 2)
+	c := b.AddTask(1, 3)
+	d := b.AddTask(0, 4)
+	b.AddEdge(a, b1)
+	b.AddEdge(a, c)
+	b.AddEdge(b1, d)
+	b.AddEdge(c, d)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(3).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumTasks() != 0 || g.Span() != 0 || g.TotalWork() != 0 {
+		t.Errorf("empty graph: tasks=%d span=%d work=%d, want zeros", g.NumTasks(), g.Span(), g.TotalWork())
+	}
+	if len(g.Roots()) != 0 {
+		t.Errorf("empty graph has roots %v", g.Roots())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	b := NewBuilder(1)
+	id := b.AddTask(0, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Span() != 7 || g.TotalWork() != 7 || g.TaskSpan(id) != 7 {
+		t.Errorf("span=%d work=%d taskSpan=%d, want 7 each", g.Span(), g.TotalWork(), g.TaskSpan(id))
+	}
+	if len(g.Roots()) != 1 || g.Roots()[0] != id {
+		t.Errorf("roots = %v, want [%d]", g.Roots(), id)
+	}
+}
+
+func TestBuilderRejectsCycle(t *testing.T) {
+	b := NewBuilder(1)
+	x := b.AddTask(0, 1)
+	y := b.AddTask(0, 1)
+	b.AddEdge(x, y)
+	b.AddEdge(y, x)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted a cyclic graph")
+	}
+}
+
+func TestBuilderRejectsSelfEdge(t *testing.T) {
+	b := NewBuilder(1)
+	x := b.AddTask(0, 1)
+	b.AddEdge(x, x)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted a self-edge")
+	}
+}
+
+func TestBuilderRejectsBadType(t *testing.T) {
+	for _, tp := range []Type{-1, 2, 99} {
+		b := NewBuilder(2)
+		b.AddTask(tp, 1)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("Build accepted type %d with K=2", tp)
+		}
+	}
+}
+
+func TestBuilderRejectsNonPositiveWork(t *testing.T) {
+	for _, w := range []int64{0, -5} {
+		b := NewBuilder(1)
+		b.AddTask(0, w)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("Build accepted work %d", w)
+		}
+	}
+}
+
+func TestBuilderRejectsUnknownEdgeEndpoint(t *testing.T) {
+	b := NewBuilder(1)
+	x := b.AddTask(0, 1)
+	b.AddEdge(x, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted an edge to an unknown task")
+	}
+}
+
+func TestBuilderRejectsZeroK(t *testing.T) {
+	if _, err := NewBuilder(0).Build(); err == nil {
+		t.Fatal("Build accepted K=0")
+	}
+}
+
+func TestBuilderRejectsDoubleBuild(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddTask(0, 1)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("first Build: %v", err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build succeeded")
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	b := NewBuilder(1)
+	x := b.AddTask(0, 1)
+	y := b.AddTask(0, 1)
+	b.AddEdge(x, y)
+	b.AddEdge(x, y)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Children(x)) != 1 || len(g.Parents(y)) != 1 {
+		t.Errorf("duplicate edge kept: children=%v parents=%v", g.Children(x), g.Parents(y))
+	}
+}
+
+func TestChainMetrics(t *testing.T) {
+	g := chain(t, 3, 0, 1, 2, 0)
+	if g.Span() != 4 {
+		t.Errorf("Span = %d, want 4", g.Span())
+	}
+	if g.TypedWork(0) != 2 || g.TypedWork(1) != 1 || g.TypedWork(2) != 1 {
+		t.Errorf("typed work = %d,%d,%d want 2,1,1", g.TypedWork(0), g.TypedWork(1), g.TypedWork(2))
+	}
+	// Remaining spans decrease along the chain.
+	for i := 0; i < 4; i++ {
+		if got, want := g.TaskSpan(TaskID(i)), int64(4-i); got != want {
+			t.Errorf("TaskSpan(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDiamondMetrics(t *testing.T) {
+	g := diamond(t)
+	// Span = a(1) + c(3) + d(4) = 8.
+	if g.Span() != 8 {
+		t.Errorf("Span = %d, want 8", g.Span())
+	}
+	if g.TotalWork() != 10 {
+		t.Errorf("TotalWork = %d, want 10", g.TotalWork())
+	}
+	if g.TypedWork(0) != 5 || g.TypedWork(1) != 5 {
+		t.Errorf("typed work = %d,%d want 5,5", g.TypedWork(0), g.TypedWork(1))
+	}
+	cp := g.CriticalPath()
+	if len(cp) != 3 || cp[0] != 0 || cp[1] != 2 || cp[2] != 3 {
+		t.Errorf("CriticalPath = %v, want [0 2 3]", cp)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := diamond(t)
+	pos := make(map[TaskID]int)
+	for i, id := range g.Topo() {
+		pos[id] = i
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		for _, c := range g.Children(TaskID(i)) {
+			if pos[c] <= pos[TaskID(i)] {
+				t.Errorf("edge %d->%d out of topo order", i, c)
+			}
+		}
+	}
+}
+
+func TestTypeCount(t *testing.T) {
+	g := diamond(t)
+	counts := g.TypeCount()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("TypeCount = %v, want [2 2]", counts)
+	}
+}
+
+func TestValidateAcceptsBuilt(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Errorf("Validate on built graph: %v", err)
+	}
+	if err := Figure1().Validate(); err != nil {
+		t.Errorf("Validate on Figure1: %v", err)
+	}
+}
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	g := Figure1()
+	if g.K() != 3 {
+		t.Fatalf("K = %d, want 3", g.K())
+	}
+	if g.NumTasks() != 14 {
+		t.Errorf("NumTasks = %d, want 14", g.NumTasks())
+	}
+	// T1(J, α1)=7, T1(J, α2)=4, T1(J, α3)=3, T∞(J)=7 per the paper.
+	if got := g.TypedWork(0); got != 7 {
+		t.Errorf("T1(J,α1) = %d, want 7", got)
+	}
+	if got := g.TypedWork(1); got != 4 {
+		t.Errorf("T1(J,α2) = %d, want 4", got)
+	}
+	if got := g.TypedWork(2); got != 3 {
+		t.Errorf("T1(J,α3) = %d, want 3", got)
+	}
+	if got := g.Span(); got != 7 {
+		t.Errorf("T∞(J) = %d, want 7", got)
+	}
+}
+
+// randomGraph builds a random DAG for property tests: edges only point
+// from lower to higher IDs, so it is acyclic by construction.
+func randomGraph(rng *rand.Rand) *Graph {
+	k := 1 + rng.Intn(4)
+	n := 1 + rng.Intn(40)
+	b := NewBuilder(k)
+	for i := 0; i < n; i++ {
+		b.AddTask(Type(rng.Intn(k)), 1+rng.Int63n(9))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.1 {
+				b.AddEdge(TaskID(i), TaskID(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestPropertySpanAtMostTotalWork(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		return g.Span() <= g.TotalWork() && g.Span() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTypedWorkSumsToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		var sum int64
+		for a := 0; a < g.K(); a++ {
+			sum += g.TypedWork(Type(a))
+		}
+		return sum == g.TotalWork()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTaskSpanDominatesChildren(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		for i := 0; i < g.NumTasks(); i++ {
+			id := TaskID(i)
+			for _, c := range g.Children(id) {
+				if g.TaskSpan(id) < g.TaskSpan(c)+g.Task(id).Work {
+					return false
+				}
+			}
+			if g.TaskSpan(id) < g.Task(id).Work {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCriticalPathRealizesSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		var sum int64
+		prev := NoTask
+		for _, id := range g.CriticalPath() {
+			sum += g.Task(id).Work
+			if prev != NoTask {
+				found := false
+				for _, c := range g.Children(prev) {
+					if c == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			prev = id
+		}
+		return sum == g.Span()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParentsChildrenAreInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		for i := 0; i < g.NumTasks(); i++ {
+			id := TaskID(i)
+			for _, c := range g.Children(id) {
+				found := false
+				for _, p := range g.Parents(c) {
+					if p == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

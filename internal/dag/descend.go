@@ -1,0 +1,128 @@
+package dag
+
+// This file computes the per-task lookahead quantities the paper's
+// offline heuristics consume:
+//
+//   - scalar descendant values (MaxDP),
+//   - typed descendant values dα(v) (MQB),
+//   - one-step typed descendant values (MQB+1Step),
+//   - different-type-child distance (DType).
+//
+// All are derived once per graph in a single reverse-topological pass
+// and returned as plain slices indexed by TaskID, so schedulers can
+// keep their own (possibly perturbed) copies.
+
+// DescendantValues returns the scalar descendant value used by MaxDP:
+//
+//	d(v) = Σ_{u ∈ children(v)} (d(u) + w(u)) / pr(u)
+//
+// where pr(u) is u's parent count and w(u) its work. A childless task
+// has value 0. Each task shares its subtree weight equally among its
+// parents, so the values sum sensibly over DAGs with joins.
+func DescendantValues(g *Graph) []float64 {
+	d := make([]float64, g.NumTasks())
+	topo := g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		var sum float64
+		for _, u := range g.Children(v) {
+			share := (d[u] + float64(g.Task(u).Work)) / float64(g.NumParents(u))
+			sum += share
+		}
+		d[v] = sum
+	}
+	return d
+}
+
+// TypedDescendantValues returns the MQB descendant values dα(v) for
+// every task and type:
+//
+//	dα(v) = Σ_{u ∈ children(v)} (dα(u) + wα(u)) / pr(u)
+//
+// where wα(u) is u's work if u is an α-task and 0 otherwise. The result
+// is indexed as [TaskID][Type].
+func TypedDescendantValues(g *Graph) [][]float64 {
+	k := g.K()
+	d := make([][]float64, g.NumTasks())
+	flat := make([]float64, g.NumTasks()*k)
+	for i := range d {
+		d[i], flat = flat[:k:k], flat[k:]
+	}
+	topo := g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		row := d[v]
+		for _, u := range g.Children(v) {
+			inv := 1 / float64(g.NumParents(u))
+			childRow := d[u]
+			for a := 0; a < k; a++ {
+				row[a] += childRow[a] * inv
+			}
+			row[g.Task(u).Type] += float64(g.Task(u).Work) * inv
+		}
+	}
+	return d
+}
+
+// OneStepTypedDescendantValues is the MQB+1Step restriction of
+// TypedDescendantValues: only immediate children contribute, i.e.
+//
+//	dα(v) = Σ_{u ∈ children(v)} wα(u) / pr(u)
+func OneStepTypedDescendantValues(g *Graph) [][]float64 {
+	k := g.K()
+	d := make([][]float64, g.NumTasks())
+	flat := make([]float64, g.NumTasks()*k)
+	for i := range d {
+		d[i], flat = flat[:k:k], flat[k:]
+	}
+	for v := 0; v < g.NumTasks(); v++ {
+		row := d[v]
+		for _, u := range g.Children(TaskID(v)) {
+			row[g.Task(u).Type] += float64(g.Task(u).Work) / float64(g.NumParents(u))
+		}
+	}
+	return d
+}
+
+// InfDistance marks "no different-type descendant reachable" in the
+// result of DifferentTypeDistances.
+const InfDistance = int32(1) << 30
+
+// DifferentTypeDistances returns, for each task v, the number of edges
+// on the shortest path from v to any descendant whose type differs from
+// v's type. A direct child of a different type gives distance 1. Tasks
+// with no different-type descendant get InfDistance. DType prioritizes
+// small distances.
+func DifferentTypeDistances(g *Graph) []int32 {
+	n := g.NumTasks()
+	dist := make([]int32, n)
+	// down[v] memoizes, per starting type t, the shortest edge count
+	// from v to a task of type != t. Because the comparison type is the
+	// *ancestor's* type, a naive formulation is per (task, type); but we
+	// only ever query pairs (v, type(v)), and the recurrence
+	//   dist(v) = min over children c of: 1                if type(c) != type(v)
+	//                                     1 + dist(c)      if type(c) == type(v)
+	// is self-contained, because when type(c) == type(v) the child's own
+	// query uses the same comparison type.
+	topo := g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		best := InfDistance
+		tv := g.Task(v).Type
+		for _, c := range g.Children(v) {
+			var cand int32
+			if g.Task(c).Type != tv {
+				cand = 1
+			} else if dist[c] >= InfDistance {
+				continue
+			} else {
+				cand = 1 + dist[c]
+			}
+			if cand < best {
+				best = cand
+			}
+		}
+		dist[v] = best
+	}
+	return dist
+}

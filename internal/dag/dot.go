@@ -1,0 +1,43 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// dotShapes mirrors the paper's Figure 1 legend: circles, squares and
+// triangles for the first three types, then generic shapes after that.
+var dotShapes = []string{
+	"circle", "square", "triangle", "diamond", "pentagon", "hexagon",
+	"septagon", "octagon",
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, one shape per
+// resource type (circle/square/triangle/... as in the paper's figures).
+// Node labels show "id:type/work" unless the task carries a label.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if name == "" {
+		name = "kdag"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		shape := dotShapes[int(t.Type)%len(dotShapes)]
+		label := t.Label
+		if label == "" {
+			label = fmt.Sprintf("%d:t%d/w%d", t.ID, t.Type, t.Work)
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s, label=%q];\n", t.ID, shape, label)
+	}
+	for i := range g.tasks {
+		for _, c := range g.children[i] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, c)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

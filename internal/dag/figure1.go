@@ -1,0 +1,42 @@
+package dag
+
+// Figure1 builds a K-DAG matching the example of Figure 1 in the
+// paper: K = 3, unit-size tasks, typed work T1(J,α1) = 7 (circles),
+// T1(J,α2) = 4 (squares), T1(J,α3) = 3 (triangles), and span
+// T∞(J) = 7. The paper does not give the exact edge set, so this is
+// one concrete instance with those aggregate properties; the tests
+// assert them.
+func Figure1() *Graph {
+	b := NewBuilder(3)
+	const (
+		circle   = Type(0)
+		square   = Type(1)
+		triangle = Type(2)
+	)
+	// Seven-task critical path alternating types.
+	c0 := b.AddLabeledTask(circle, 1, "c0")
+	s0 := b.AddLabeledTask(square, 1, "s0")
+	c1 := b.AddLabeledTask(circle, 1, "c1")
+	t0 := b.AddLabeledTask(triangle, 1, "t0")
+	c2 := b.AddLabeledTask(circle, 1, "c2")
+	s1 := b.AddLabeledTask(square, 1, "s1")
+	c3 := b.AddLabeledTask(circle, 1, "c3")
+	b.AddChain(c0, s0, c1, t0, c2, s1, c3)
+	// Side branches completing the type totals (7 circles, 4 squares,
+	// 3 triangles).
+	c4 := b.AddLabeledTask(circle, 1, "c4")
+	c5 := b.AddLabeledTask(circle, 1, "c5")
+	c6 := b.AddLabeledTask(circle, 1, "c6")
+	s2 := b.AddLabeledTask(square, 1, "s2")
+	s3 := b.AddLabeledTask(square, 1, "s3")
+	t1 := b.AddLabeledTask(triangle, 1, "t1")
+	t2 := b.AddLabeledTask(triangle, 1, "t2")
+	b.AddEdge(c0, s2)
+	b.AddEdge(s2, c4)
+	b.AddEdge(c0, t1)
+	b.AddEdge(s0, c5)
+	b.AddEdge(c1, s3)
+	b.AddEdge(s3, t2)
+	b.AddEdge(c2, c6)
+	return b.MustBuild()
+}

@@ -1,0 +1,78 @@
+package dag
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalGraphJSON checks that arbitrary bytes never panic the
+// decoder and that anything it accepts round-trips to an equivalent,
+// valid graph.
+func FuzzUnmarshalGraphJSON(f *testing.F) {
+	seed, err := Figure1().MarshalJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"k":1,"tasks":[{"type":0,"work":1}],"edges":[]}`))
+	f.Add([]byte(`{"k":2,"tasks":[{"type":0,"work":1},{"type":1,"work":2}],"edges":[[0,1]]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"k":0}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalGraphJSON(data)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		out, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted graph fails to marshal: %v", err)
+		}
+		back, err := UnmarshalGraphJSON(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumTasks() != g.NumTasks() || back.Span() != g.Span() || back.TotalWork() != g.TotalWork() {
+			t.Fatalf("round trip changed metrics: %d/%d/%d -> %d/%d/%d",
+				g.NumTasks(), g.Span(), g.TotalWork(), back.NumTasks(), back.Span(), back.TotalWork())
+		}
+	})
+}
+
+// FuzzBuilder checks that the builder either rejects or produces a
+// valid graph for arbitrary edge soups.
+func FuzzBuilder(f *testing.F) {
+	f.Add(3, 5, []byte{0, 1, 1, 2})
+	f.Add(1, 1, []byte{})
+	f.Add(2, 8, []byte{0, 7, 7, 0, 3, 3})
+	f.Fuzz(func(t *testing.T, k, n int, edges []byte) {
+		if k < 0 || k > 8 || n < 0 || n > 32 {
+			return
+		}
+		b := NewBuilder(k)
+		for i := 0; i < n; i++ {
+			tp := Type(0)
+			if k > 0 {
+				tp = Type(i % k)
+			}
+			b.AddTask(tp, int64(i%5)+1)
+		}
+		for i := 0; i+1 < len(edges); i += 2 {
+			b.AddEdge(TaskID(edges[i]), TaskID(edges[i+1]))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+		// Analysis passes must not panic on any valid graph.
+		DescendantValues(g)
+		TypedDescendantValues(g)
+		OneStepTypedDescendantValues(g)
+		DifferentTypeDistances(g)
+		g.CriticalPath()
+	})
+}

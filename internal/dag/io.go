@@ -1,0 +1,74 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jobJSON is the on-disk representation of a K-DAG. It is deliberately
+// simple: a type count, a task list and an edge list, so job files can
+// be written by hand or by other tools.
+type jobJSON struct {
+	K     int        `json:"k"`
+	Tasks []taskJSON `json:"tasks"`
+	Edges [][2]int32 `json:"edges"`
+}
+
+type taskJSON struct {
+	Type  int    `json:"type"`
+	Work  int64  `json:"work"`
+	Label string `json:"label,omitempty"`
+}
+
+// MarshalJSON encodes the graph in the job-file format understood by
+// UnmarshalGraphJSON and the cmd/fhsched tool.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	j := jobJSON{K: g.k, Tasks: make([]taskJSON, len(g.tasks))}
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		j.Tasks[i] = taskJSON{Type: int(t.Type), Work: t.Work, Label: t.Label}
+	}
+	for i := range g.tasks {
+		for _, c := range g.children[i] {
+			j.Edges = append(j.Edges, [2]int32{int32(i), int32(c)})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalGraphJSON decodes a job file produced by Graph.MarshalJSON
+// (or written by hand in the same format) and validates it.
+func UnmarshalGraphJSON(data []byte) (*Graph, error) {
+	var j jobJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("dag: decoding job: %w", err)
+	}
+	b := NewBuilder(j.K)
+	for _, t := range j.Tasks {
+		b.AddLabeledTask(Type(t.Type), t.Work, t.Label)
+	}
+	for _, e := range j.Edges {
+		b.AddEdge(TaskID(e[0]), TaskID(e[1]))
+	}
+	return b.Build()
+}
+
+// ReadGraph decodes a job from r in the JSON job-file format.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dag: reading job: %w", err)
+	}
+	return UnmarshalGraphJSON(data)
+}
+
+// WriteGraph encodes g to w in the JSON job-file format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := Figure1()
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	back, err := UnmarshalGraphJSON(data)
+	if err != nil {
+		t.Fatalf("UnmarshalGraphJSON: %v", err)
+	}
+	if back.K() != g.K() || back.NumTasks() != g.NumTasks() || back.Span() != g.Span() {
+		t.Errorf("round trip changed shape: K %d->%d tasks %d->%d span %d->%d",
+			g.K(), back.K(), g.NumTasks(), back.NumTasks(), g.Span(), back.Span())
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		id := TaskID(i)
+		if g.Task(id) != back.Task(id) {
+			t.Errorf("task %d changed: %+v -> %+v", i, g.Task(id), back.Task(id))
+		}
+		if !reflect.DeepEqual(g.Children(id), back.Children(id)) {
+			t.Errorf("children of %d changed: %v -> %v", i, g.Children(id), back.Children(id))
+		}
+	}
+}
+
+func TestPropertyJSONRoundTripPreservesMetrics(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)))
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalGraphJSON(data)
+		if err != nil {
+			return false
+		}
+		if back.Span() != g.Span() || back.TotalWork() != g.TotalWork() {
+			return false
+		}
+		for a := 0; a < g.K(); a++ {
+			if back.TypedWork(Type(a)) != g.TypedWork(Type(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":   "not json",
+		"bad type":  `{"k":1,"tasks":[{"type":3,"work":1}],"edges":[]}`,
+		"bad work":  `{"k":1,"tasks":[{"type":0,"work":0}],"edges":[]}`,
+		"bad edge":  `{"k":1,"tasks":[{"type":0,"work":1}],"edges":[[0,7]]}`,
+		"cycle":     `{"k":1,"tasks":[{"type":0,"work":1},{"type":0,"work":1}],"edges":[[0,1],[1,0]]}`,
+		"zero K":    `{"k":0,"tasks":[],"edges":[]}`,
+		"self edge": `{"k":1,"tasks":[{"type":0,"work":1}],"edges":[[0,0]]}`,
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalGraphJSON([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %q", name, data)
+		}
+	}
+}
+
+func TestReadWriteGraph(t *testing.T) {
+	g := Figure1()
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if back.NumTasks() != g.NumTasks() {
+		t.Errorf("tasks %d -> %d", g.NumTasks(), back.NumTasks())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Figure1()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "fig1"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, `digraph "fig1"`) {
+		t.Errorf("missing digraph header: %q", out[:40])
+	}
+	for _, shape := range []string{"circle", "square", "triangle"} {
+		if !strings.Contains(out, shape) {
+			t.Errorf("DOT output missing shape %q", shape)
+		}
+	}
+	if got := strings.Count(out, "->"); got != 13 {
+		t.Errorf("DOT has %d edges, want 13", got)
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, Figure1(), ""); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(buf.String(), `digraph "kdag"`) {
+		t.Error("default graph name not applied")
+	}
+}

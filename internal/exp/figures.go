@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+
+	"fhs/internal/core"
+	"fhs/internal/workload"
+)
+
+// DefaultK is the paper's default number of resource types ("We use a
+// default number of different resource types K = 4 except for changing
+// K experiments").
+const DefaultK = 4
+
+// Options scales a figure preset. The zero value is completed by
+// fillDefaults: 5000 instances (the paper's count), seed 1, all cores.
+type Options struct {
+	Instances int
+	Seed      int64
+	Workers   int
+}
+
+func (o Options) fillDefaults() Options {
+	if o.Instances <= 0 {
+		o.Instances = 5000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// panel builds a Spec with the harness-wide conventions applied.
+func panel(name string, wl workload.Config, machine workload.ResourceRange, o Options) Spec {
+	return Spec{
+		Name:       name,
+		Workload:   wl,
+		Machine:    machine,
+		Schedulers: core.Names(),
+		Instances:  o.Instances,
+		Seed:       o.Seed,
+		Workers:    o.Workers,
+	}
+}
+
+// Figure4 returns the six panels of the algorithm-performance study
+// (Section V-C): average completion-time ratio of the six algorithms
+// on random and layered EP/Tree/IR workloads.
+func Figure4(o Options) []Spec {
+	o = o.fillDefaults()
+	k := DefaultK
+	return []Spec{
+		panel("Figure 4(a): Small Random EP", workload.DefaultEP(k, workload.Random), workload.SmallMachine, o),
+		panel("Figure 4(b): Medium Random Tree", workload.DefaultTree(k, workload.Random), workload.MediumMachine, o),
+		panel("Figure 4(c): Medium Random IR", workload.DefaultIR(k, workload.Random), workload.MediumMachine, o),
+		panel("Figure 4(d): Small Layered EP", workload.DefaultEP(k, workload.Layered), workload.SmallMachine, o),
+		panel("Figure 4(e): Medium Layered Tree", workload.DefaultTree(k, workload.Layered), workload.MediumMachine, o),
+		panel("Figure 4(f): Medium Layered IR", workload.DefaultIR(k, workload.Layered), workload.MediumMachine, o),
+	}
+}
+
+// Figure5 returns the changing-K study (Section V-D): the Figure 4
+// layered panels swept over K = 1..6. Panels are grouped per
+// sub-figure, K ascending.
+func Figure5(o Options) []Spec {
+	o = o.fillDefaults()
+	var specs []Spec
+	type sub struct {
+		label   string
+		class   workload.Class
+		machine workload.ResourceRange
+	}
+	subs := []sub{
+		{"Figure 5(a): Small Layered EP", workload.EP, workload.SmallMachine},
+		{"Figure 5(b): Medium Layered Tree", workload.Tree, workload.MediumMachine},
+		{"Figure 5(c): Medium Layered IR", workload.IR, workload.MediumMachine},
+	}
+	for _, s := range subs {
+		for k := 1; k <= 6; k++ {
+			wl := workload.Default(s.class, k, workload.Layered)
+			specs = append(specs, panel(fmt.Sprintf("%s, K=%d", s.label, k), wl, s.machine, o))
+		}
+	}
+	return specs
+}
+
+// Figure6 returns the skewed-load study (Section V-E): the Figure 4(e)
+// and 4(f) panels with the first type's pool cut to 1/5.
+func Figure6(o Options) []Spec {
+	o = o.fillDefaults()
+	k := DefaultK
+	a := panel("Figure 6(a): Medium Layered Tree, skewed", workload.DefaultTree(k, workload.Layered), workload.MediumMachine, o)
+	a.SkewFactor = 5
+	b := panel("Figure 6(b): Medium Layered IR, skewed", workload.DefaultIR(k, workload.Layered), workload.MediumMachine, o)
+	b.SkewFactor = 5
+	return []Spec{a, b}
+}
+
+// Figure7 returns the preemption study (Section V-F): the three
+// layered panels in non-preemptive and preemptive mode. Panels come in
+// pairs (non-preemptive first).
+func Figure7(o Options) []Spec {
+	o = o.fillDefaults()
+	k := DefaultK
+	var specs []Spec
+	add := func(label string, wl workload.Config, machine workload.ResourceRange) {
+		np := panel(label+", non-preemptive", wl, machine, o)
+		p := panel(label+", preemptive", wl, machine, o)
+		p.Preemptive = true
+		specs = append(specs, np, p)
+	}
+	add("Figure 7(a): Small Layered EP", workload.DefaultEP(k, workload.Layered), workload.SmallMachine)
+	add("Figure 7(b): Medium Layered Tree", workload.DefaultTree(k, workload.Layered), workload.MediumMachine)
+	add("Figure 7(c): Medium Layered IR", workload.DefaultIR(k, workload.Layered), workload.MediumMachine)
+	return specs
+}
+
+// Figure8 returns the approximated-information study (Section V-G):
+// KGreedy against the six MQB variants (All/1Step lookahead ×
+// Precise/Exp/Noise estimates) on the three layered panels. Reports
+// read both the Mean and Max columns, as the paper plots both.
+func Figure8(o Options) []Spec {
+	o = o.fillDefaults()
+	k := DefaultK
+	specs := []Spec{
+		panel("Figure 8(a): Small Layered EP", workload.DefaultEP(k, workload.Layered), workload.SmallMachine, o),
+		panel("Figure 8(b): Medium Layered Tree", workload.DefaultTree(k, workload.Layered), workload.MediumMachine, o),
+		panel("Figure 8(c): Medium Layered IR", workload.DefaultIR(k, workload.Layered), workload.MediumMachine, o),
+	}
+	for i := range specs {
+		specs[i].Schedulers = core.MQBVariantNames()
+	}
+	return specs
+}
+
+// Figures maps figure identifiers ("4".."8") to their preset builders.
+func Figures() map[string]func(Options) []Spec {
+	return map[string]func(Options) []Spec{
+		"4": Figure4,
+		"5": Figure5,
+		"6": Figure6,
+		"7": Figure7,
+		"8": Figure8,
+	}
+}

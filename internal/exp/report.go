@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteTable renders a panel as an aligned text table, the harness's
+// human-readable output format.
+func WriteTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "%s (n=%d per scheduler)\n", t.Name, rowN(t)); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheduler\tavg ratio\tmax\tmin\tstddev\tp50\tp95")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Scheduler, r.Mean, r.Max, r.Min, r.StdDev, r.P50, r.P95)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteTables renders several panels in sequence.
+func WriteTables(w io.Writer, tables []Table) error {
+	for _, t := range tables {
+		if err := WriteTable(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders panels as one flat CSV with columns
+// panel,scheduler,mean,max,min,stddev,p50,p95,n — convenient for
+// replotting.
+func WriteCSV(w io.Writer, tables []Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "scheduler", "mean", "max", "min", "stddev", "p50", "p95", "n"}); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			rec := []string{
+				t.Name,
+				r.Scheduler,
+				formatFloat(r.Mean),
+				formatFloat(r.Max),
+				formatFloat(r.Min),
+				formatFloat(r.StdDev),
+				formatFloat(r.P50),
+				formatFloat(r.P95),
+				strconv.FormatInt(r.N, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+func rowN(t Table) int64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	return t.Rows[0].N
+}
+
+// Summarize returns a one-line comparative summary of a panel:
+// the best scheduler by mean ratio and its improvement over KGreedy
+// (when present), mirroring how the paper narrates its results.
+func Summarize(t Table) string {
+	if len(t.Rows) == 0 {
+		return t.Name + ": no data"
+	}
+	best := t.Rows[0]
+	for _, r := range t.Rows[1:] {
+		if r.Mean < best.Mean {
+			best = r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: best %s (avg ratio %.3f)", t.Name, best.Scheduler, best.Mean)
+	if kg := t.Row("KGreedy"); kg != nil && kg.Mean > 0 && best.Scheduler != "KGreedy" {
+		fmt.Fprintf(&b, ", %.0f%% below KGreedy (%.3f)", 100*(kg.Mean-best.Mean)/kg.Mean, kg.Mean)
+	}
+	return b.String()
+}

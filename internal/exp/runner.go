@@ -1,0 +1,250 @@
+// Package exp is the experiment harness that regenerates the paper's
+// evaluation (Figures 4-8). A Spec describes one plotted panel: a job
+// distribution, a machine distribution, an execution mode and a set of
+// schedulers. Run draws N independent (job, machine) instances, runs
+// every scheduler on each instance — the same jobs and machines for
+// every algorithm, as in the paper — and aggregates completion-time
+// ratios T(J)/L(J) into a Table.
+//
+// Instances execute on a worker pool; every random draw derives from
+// the Spec seed and the instance index, so results are deterministic
+// and independent of the worker count.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fhs/internal/core"
+	"fhs/internal/metrics"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+// Spec describes one experiment panel.
+type Spec struct {
+	// Name labels the panel in reports, e.g. "Figure 4(d): Small Layered EP".
+	Name string
+
+	// Workload is the job distribution instances are drawn from.
+	Workload workload.Config
+
+	// Machine is the per-type pool-size distribution.
+	Machine workload.ResourceRange
+
+	// SkewFactor, when > 1, divides the first type's sampled pool by
+	// this factor (Section V-E). 0 or 1 means no skew.
+	SkewFactor int
+
+	// Preemptive selects quantum-based rescheduling for all schedulers.
+	Preemptive bool
+
+	// Schedulers lists registry names (see core.New) to compare.
+	Schedulers []string
+
+	// Instances is the number of (job, machine) draws; the paper uses
+	// 5000 per plotted point.
+	Instances int
+
+	// Seed roots all randomness of the experiment.
+	Seed int64
+
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate reports malformed specs before any work is spent.
+func (s *Spec) Validate() error {
+	if s.Instances <= 0 {
+		return fmt.Errorf("exp: %s: instances = %d, want > 0", s.Name, s.Instances)
+	}
+	if len(s.Schedulers) == 0 {
+		return fmt.Errorf("exp: %s: no schedulers", s.Name)
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return fmt.Errorf("exp: %s: %w", s.Name, err)
+	}
+	if err := s.Machine.Validate(); err != nil {
+		return fmt.Errorf("exp: %s: %w", s.Name, err)
+	}
+	for _, name := range s.Schedulers {
+		if _, err := core.New(name, core.Params{}); err != nil {
+			return fmt.Errorf("exp: %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Row aggregates one scheduler's completion-time ratios over all
+// instances of a panel.
+type Row struct {
+	Scheduler string
+	Mean      float64 // average completion-time ratio (the figures' y-axis)
+	Max       float64 // worst ratio observed (Figure 8 reports this too)
+	Min       float64
+	StdDev    float64
+	P50       float64 // median ratio
+	P95       float64 // 95th-percentile ratio
+	N         int64
+}
+
+// Table is one finished panel.
+type Table struct {
+	Name string
+	Rows []Row
+}
+
+// Row returns the row for a scheduler name, or nil if absent.
+func (t *Table) Row(scheduler string) *Row {
+	for i := range t.Rows {
+		if t.Rows[i].Scheduler == scheduler {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// instSeed derives the RNG seed of instance i. SplitMix64-style mixing
+// keeps neighboring instances decorrelated.
+func instSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes a panel and returns its aggregated table.
+func Run(spec Spec) (Table, error) {
+	if err := spec.Validate(); err != nil {
+		return Table{}, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Instances {
+		workers = spec.Instances
+	}
+
+	nSched := len(spec.Schedulers)
+	ratios := make([]float64, spec.Instances*nSched)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := runInstance(&spec, i, ratios[i*nSched:(i+1)*nSched]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < spec.Instances; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return Table{}, firstErr
+	}
+
+	table := Table{Name: spec.Name, Rows: make([]Row, nSched)}
+	sample := make([]float64, spec.Instances)
+	for s, name := range spec.Schedulers {
+		var sum metrics.Summary
+		for i := 0; i < spec.Instances; i++ {
+			sum.Add(ratios[i*nSched+s])
+			sample[i] = ratios[i*nSched+s]
+		}
+		sort.Float64s(sample)
+		table.Rows[s] = Row{
+			Scheduler: name,
+			Mean:      sum.Mean(),
+			Max:       sum.Max(),
+			Min:       sum.Min(),
+			StdDev:    sum.StdDev(),
+			P50:       percentile(sample, 0.50),
+			P95:       percentile(sample, 0.95),
+			N:         sum.N(),
+		}
+	}
+	return table, nil
+}
+
+// percentile returns the p-quantile of a sorted sample using the
+// nearest-rank method (index ⌈p·N⌉, clamped).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runInstance draws instance i's job and machine and fills out[s] with
+// each scheduler's completion-time ratio.
+func runInstance(spec *Spec, i int, out []float64) error {
+	seed := instSeed(spec.Seed, i)
+	rng := rand.New(rand.NewSource(seed))
+	g, err := workload.Generate(spec.Workload, rng)
+	if err != nil {
+		return fmt.Errorf("exp: %s instance %d: %w", spec.Name, i, err)
+	}
+	procs := spec.Machine.Sample(g.K(), rng)
+	if spec.SkewFactor > 1 {
+		procs = workload.SkewFirstType(procs, spec.SkewFactor)
+	}
+	lb, err := metrics.LowerBound(g, procs)
+	if err != nil {
+		return fmt.Errorf("exp: %s instance %d: %w", spec.Name, i, err)
+	}
+	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive}
+	for s, name := range spec.Schedulers {
+		// Schedulers are built fresh per instance with a seed derived
+		// from the instance seed and the scheduler index, so randomized
+		// information models (MQB+Exp/Noise) are reproducible no matter
+		// how instances land on workers.
+		sch, err := core.New(name, core.Params{Seed: seed ^ int64(s+1)<<32})
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(g, sch, cfg)
+		if err != nil {
+			return fmt.Errorf("exp: %s instance %d scheduler %s: %w", spec.Name, i, name, err)
+		}
+		out[s] = metrics.Ratio(res.CompletionTime, lb)
+	}
+	return nil
+}
+
+// RunAll executes a list of panels sequentially and returns their
+// tables in order.
+func RunAll(specs []Spec) ([]Table, error) {
+	tables := make([]Table, 0, len(specs))
+	for _, s := range specs {
+		t, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,221 @@
+// Package flex implements the open problem the paper's conclusion
+// poses: scheduling K-DAG jobs whose tasks can be Just-In-Time
+// compiled for several resource types. A flexible task carries a
+// per-type work table (it may be faster on some types than others);
+// the scheduler chooses, at dispatch time, both which task to run and
+// which of its admissible types runs it.
+//
+// The package provides the flexible job model, a non-preemptive
+// discrete-time engine mirroring internal/sim, and three policies:
+//
+//   - Greedy: FIFO — the KGreedy analogue,
+//   - BestFit: prefer tasks for which this pool is their fastest type,
+//   - Balance: the MQB idea lifted to flexible tasks — prefer
+//     dispatches that maximize the balance of per-type queue pressure.
+//
+// A static "pin to fastest type" transformation is also provided, so
+// the value of runtime flexibility over compile-time placement can be
+// measured (see BenchmarkExtensionJIT in the repository root).
+package flex
+
+import (
+	"fmt"
+	"math"
+
+	"fhs/internal/dag"
+)
+
+// NoWork marks a type a task cannot execute on.
+const NoWork int64 = -1
+
+// Task is one node of a flexible job: Works[α] is its execution time
+// on an α-processor, or NoWork if it cannot run there.
+type Task struct {
+	ID    dag.TaskID
+	Works []int64
+	Label string
+}
+
+// MinWork returns the task's smallest admissible work and the type
+// realizing it (smallest type index on ties).
+func (t *Task) MinWork() (int64, dag.Type) {
+	best := int64(math.MaxInt64)
+	bestType := dag.Type(-1)
+	for a, w := range t.Works {
+		if w != NoWork && w < best {
+			best, bestType = w, dag.Type(a)
+		}
+	}
+	return best, bestType
+}
+
+// Allowed reports whether the task may run on type a.
+func (t *Task) Allowed(a dag.Type) bool {
+	return int(a) < len(t.Works) && t.Works[a] != NoWork
+}
+
+// Job is an immutable flexible K-DAG. Structure (edges, topological
+// order) is carried by a dag.Graph whose task types and works are
+// placeholders; the authoritative per-type works live here.
+type Job struct {
+	structure *dag.Graph
+	tasks     []Task
+	k         int
+}
+
+// K returns the number of resource types.
+func (j *Job) K() int { return j.k }
+
+// NumTasks returns the number of tasks.
+func (j *Job) NumTasks() int { return len(j.tasks) }
+
+// Task returns the flexible task with the given ID.
+func (j *Job) Task(id dag.TaskID) *Task { return &j.tasks[id] }
+
+// Children returns the direct successors of id.
+func (j *Job) Children(id dag.TaskID) []dag.TaskID { return j.structure.Children(id) }
+
+// Parents returns the direct predecessors of id.
+func (j *Job) Parents(id dag.TaskID) []dag.TaskID { return j.structure.Parents(id) }
+
+// Roots returns the initially ready tasks.
+func (j *Job) Roots() []dag.TaskID { return j.structure.Roots() }
+
+// Topo returns a topological order of the tasks.
+func (j *Job) Topo() []dag.TaskID { return j.structure.Topo() }
+
+// MinSpan returns the critical-path length when every task takes its
+// minimum admissible work: a lower bound on any schedule.
+func (j *Job) MinSpan() int64 {
+	spans := make([]int64, len(j.tasks))
+	topo := j.Topo()
+	var span int64
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		var below int64
+		for _, c := range j.Children(id) {
+			if spans[c] > below {
+				below = spans[c]
+			}
+		}
+		w, _ := j.tasks[id].MinWork()
+		spans[id] = w + below
+		if spans[id] > span {
+			span = spans[id]
+		}
+	}
+	return span
+}
+
+// LowerBound returns a completion-time lower bound on the machine:
+// max(MinSpan, total minimum work / total processors). The aggregate
+// work term uses the whole machine because flexible tasks can, in the
+// best case, spread anywhere.
+func (j *Job) LowerBound(procs []int) (float64, error) {
+	if len(procs) != j.k {
+		return 0, fmt.Errorf("flex: %d pools for a job with K=%d", len(procs), j.k)
+	}
+	total := 0
+	for a, p := range procs {
+		if p <= 0 {
+			return 0, fmt.Errorf("flex: pool %d has %d processors, want > 0", a, p)
+		}
+		total += p
+	}
+	var work int64
+	for i := range j.tasks {
+		w, _ := j.tasks[i].MinWork()
+		work += w
+	}
+	lb := float64(j.MinSpan())
+	if v := float64(work) / float64(total); v > lb {
+		lb = v
+	}
+	return lb, nil
+}
+
+// Pinned converts the flexible job into a rigid K-DAG by pinning every
+// task to its fastest admissible type — the compile-time placement a
+// system without JIT would use. The result can be scheduled with any
+// internal/core policy.
+func (j *Job) Pinned() *dag.Graph {
+	b := dag.NewBuilder(j.k)
+	for i := range j.tasks {
+		w, a := j.tasks[i].MinWork()
+		b.AddLabeledTask(a, w, j.tasks[i].Label)
+	}
+	for i := range j.tasks {
+		for _, c := range j.Children(dag.TaskID(i)) {
+			b.AddEdge(dag.TaskID(i), c)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Builder assembles a flexible job.
+type Builder struct {
+	k     int
+	inner *dag.Builder
+	tasks []Task
+}
+
+// NewBuilder returns a builder for a flexible job with k types.
+func NewBuilder(k int) *Builder {
+	return &Builder{k: k, inner: dag.NewBuilder(k)}
+}
+
+// AddTask appends a task with the given per-type work table (length K,
+// NoWork for inadmissible types) and returns its ID.
+func (b *Builder) AddTask(works []int64) dag.TaskID {
+	return b.AddLabeledTask(works, "")
+}
+
+// AddLabeledTask is AddTask with a label.
+func (b *Builder) AddLabeledTask(works []int64, label string) dag.TaskID {
+	t := Task{ID: dag.TaskID(len(b.tasks)), Works: append([]int64(nil), works...), Label: label}
+	b.tasks = append(b.tasks, t)
+	// The structural graph gets a placeholder type/work; real works
+	// live in the flex task table.
+	b.inner.AddTask(0, 1)
+	return t.ID
+}
+
+// AddEdge records a precedence constraint.
+func (b *Builder) AddEdge(from, to dag.TaskID) { b.inner.AddEdge(from, to) }
+
+// Build validates and returns the immutable job.
+func (b *Builder) Build() (*Job, error) {
+	g, err := b.inner.Build()
+	if err != nil {
+		return nil, err
+	}
+	for i := range b.tasks {
+		t := &b.tasks[i]
+		if len(t.Works) != b.k {
+			return nil, fmt.Errorf("flex: task %d has %d work entries, want K=%d", i, len(t.Works), b.k)
+		}
+		admissible := false
+		for a, w := range t.Works {
+			if w == NoWork {
+				continue
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("flex: task %d has non-positive work %d on type %d", i, w, a)
+			}
+			admissible = true
+		}
+		if !admissible {
+			return nil, fmt.Errorf("flex: task %d has no admissible type", i)
+		}
+	}
+	return &Job{structure: g, tasks: b.tasks, k: b.k}, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Job {
+	j, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return j
+}

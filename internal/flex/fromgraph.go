@@ -1,0 +1,48 @@
+package flex
+
+import (
+	"math"
+	"math/rand"
+
+	"fhs/internal/dag"
+)
+
+// FromGraph derives a flexible job from a rigid K-DAG: every task can
+// run on its original ("home") type at its original work, and with
+// probability flexFrac it is additionally JIT-compilable for every
+// other type at ceil(work·penalty) — foreign binaries are typically
+// slower. penalty < 1 is clamped to 1. flexFrac 0 reproduces the rigid
+// job; flexFrac 1 makes every task fully flexible.
+//
+// This is the synthetic knob used to study the paper's closing open
+// problem: how much completion time JIT flexibility recovers.
+func FromGraph(g *dag.Graph, flexFrac, penalty float64, rng *rand.Rand) *Job {
+	if penalty < 1 {
+		penalty = 1
+	}
+	k := g.K()
+	b := NewBuilder(k)
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(dag.TaskID(i))
+		works := make([]int64, k)
+		for a := range works {
+			works[a] = NoWork
+		}
+		works[t.Type] = t.Work
+		if rng.Float64() < flexFrac {
+			foreign := int64(math.Ceil(float64(t.Work) * penalty))
+			for a := range works {
+				if dag.Type(a) != t.Type {
+					works[a] = foreign
+				}
+			}
+		}
+		b.AddLabeledTask(works, t.Label)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		for _, c := range g.Children(dag.TaskID(i)) {
+			b.AddEdge(dag.TaskID(i), c)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,152 @@
+// Package metrics provides the evaluation quantities of Section V:
+// the completion-time lower bound L(J), the completion-time ratio the
+// figures plot, the work-per-processor skew measure of Section V-E,
+// and streaming summary statistics for aggregating ratios over many
+// job instances.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"fhs/internal/dag"
+)
+
+// LowerBound returns L(J) = max(T∞(J), maxα T1(J,α)/Pα): a completion
+// time no schedule on the given machine can beat. It is the
+// denominator of every completion-time ratio in the paper. procs must
+// have length K with positive entries.
+func LowerBound(g *dag.Graph, procs []int) (float64, error) {
+	if len(procs) != g.K() {
+		return 0, fmt.Errorf("metrics: %d pools for a job with K=%d", len(procs), g.K())
+	}
+	lb := float64(g.Span())
+	for a, p := range procs {
+		if p <= 0 {
+			return 0, fmt.Errorf("metrics: pool %d has %d processors, want > 0", a, p)
+		}
+		if v := float64(g.TypedWork(dag.Type(a))) / float64(p); v > lb {
+			lb = v
+		}
+	}
+	return lb, nil
+}
+
+// Ratio returns the completion-time ratio T(J)/L(J) for a measured
+// completion time. Jobs with zero lower bound (empty jobs) report a
+// ratio of 1 by convention.
+func Ratio(completion int64, lowerBound float64) float64 {
+	if lowerBound <= 0 {
+		return 1
+	}
+	return float64(completion) / lowerBound
+}
+
+// WorkPerProcessor returns the per-type work-per-processor ratios
+// T1(J,α)/Pα used by the skewed-load study (Section V-E).
+func WorkPerProcessor(g *dag.Graph, procs []int) ([]float64, error) {
+	if len(procs) != g.K() {
+		return nil, fmt.Errorf("metrics: %d pools for a job with K=%d", len(procs), g.K())
+	}
+	out := make([]float64, g.K())
+	for a, p := range procs {
+		if p <= 0 {
+			return nil, fmt.Errorf("metrics: pool %d has %d processors, want > 0", a, p)
+		}
+		out[a] = float64(g.TypedWork(dag.Type(a))) / float64(p)
+	}
+	return out, nil
+}
+
+// SkewCoefficient summarizes how unbalanced a job's load is on a
+// machine: the coefficient of variation (stddev/mean) of the
+// work-per-processor ratios. 0 means perfectly balanced; larger means
+// more skew.
+func SkewCoefficient(g *dag.Graph, procs []int) (float64, error) {
+	wpp, err := WorkPerProcessor(g, procs)
+	if err != nil {
+		return 0, err
+	}
+	var s Summary
+	for _, v := range wpp {
+		s.Add(v)
+	}
+	if s.Mean() == 0 {
+		return 0, nil
+	}
+	return s.StdDev() / s.Mean(), nil
+}
+
+// Summary accumulates streaming statistics over float64 observations
+// using Welford's algorithm, so experiment workers can aggregate
+// without retaining samples.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into s, as if every observation of o had
+// been Added to s. It lets per-worker summaries combine losslessly.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fhs/internal/dag"
+)
+
+func TestLowerBoundSpanDominated(t *testing.T) {
+	// A chain: span dominates regardless of processors.
+	b := dag.NewBuilder(2)
+	x := b.AddTask(0, 5)
+	y := b.AddTask(1, 5)
+	b.AddEdge(x, y)
+	g := b.MustBuild()
+	lb, err := LowerBound(g, []int{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 10 {
+		t.Errorf("lb = %g, want 10 (span)", lb)
+	}
+}
+
+func TestLowerBoundWorkDominated(t *testing.T) {
+	b := dag.NewBuilder(2)
+	for i := 0; i < 8; i++ {
+		b.AddTask(0, 3)
+	}
+	b.AddTask(1, 1)
+	g := b.MustBuild()
+	lb, err := LowerBound(g, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 12 { // 8·3/2
+		t.Errorf("lb = %g, want 12", lb)
+	}
+}
+
+func TestLowerBoundErrors(t *testing.T) {
+	g := dag.Figure1()
+	if _, err := LowerBound(g, []int{1, 1}); err == nil {
+		t.Error("accepted wrong pool count")
+	}
+	if _, err := LowerBound(g, []int{1, 0, 1}); err == nil {
+		t.Error("accepted zero pool")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(20, 10) != 2 {
+		t.Error("Ratio(20,10) != 2")
+	}
+	if Ratio(5, 0) != 1 {
+		t.Error("zero lower bound should give ratio 1")
+	}
+}
+
+func TestWorkPerProcessorAndSkew(t *testing.T) {
+	g := dag.Figure1() // typed work 7,4,3
+	wpp, err := WorkPerProcessor(g, []int{7, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 1}
+	for i := range want {
+		if wpp[i] != want[i] {
+			t.Errorf("wpp[%d] = %g, want %g", i, wpp[i], want[i])
+		}
+	}
+	// Balanced loads → zero skew.
+	sk, err := SkewCoefficient(g, []int{7, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk != 0 {
+		t.Errorf("balanced skew = %g, want 0", sk)
+	}
+	// Unbalanced loads → positive skew.
+	sk, err = SkewCoefficient(g, []int{1, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk <= 0 {
+		t.Errorf("unbalanced skew = %g, want > 0", sk)
+	}
+	if _, err := WorkPerProcessor(g, []int{1, 1}); err == nil {
+		t.Error("accepted wrong pool count")
+	}
+	if _, err := SkewCoefficient(g, []int{0, 1, 1}); err == nil {
+		t.Error("accepted zero pool")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Error("zero Summary should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", s.StdDev())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Variance() != 0 || s.Min() != 3 || s.Max() != 3 || s.Mean() != 3 {
+		t.Error("single observation stats wrong")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merge with empty changed summary")
+	}
+	var c Summary
+	c.Merge(a) // merging into empty copies
+	if c.Mean() != a.Mean() || c.N() != a.N() {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestPropertyMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		split := rng.Intn(n + 1)
+		var all, left, right Summary
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()*10 + 5
+			all.Add(v)
+			if i < split {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.Merge(right)
+		return left.N() == all.N() &&
+			math.Abs(left.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(left.Variance()-all.Variance()) < 1e-6 &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLowerBoundAtLeastSpanAndWork(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		b := dag.NewBuilder(k)
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			b.AddTask(dag.Type(rng.Intn(k)), 1+rng.Int63n(9))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.1 {
+					b.AddEdge(dag.TaskID(i), dag.TaskID(j))
+				}
+			}
+		}
+		g := b.MustBuild()
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(4)
+		}
+		lb, err := LowerBound(g, procs)
+		if err != nil {
+			return false
+		}
+		if lb < float64(g.Span()) {
+			return false
+		}
+		for a, p := range procs {
+			if lb < float64(g.TypedWork(dag.Type(a)))/float64(p)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package multi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhs/internal/workload"
+)
+
+// StreamConfig describes a synthetic job stream: jobs drawn from a
+// workload distribution, released by a Poisson-like process
+// (exponential inter-arrival gaps with the given mean).
+type StreamConfig struct {
+	// Jobs is the number of jobs in the stream.
+	Jobs int
+	// Workload is the per-job distribution.
+	Workload workload.Config
+	// MeanInterarrival is the average gap between releases; 0 releases
+	// everything at time 0 (a batch).
+	MeanInterarrival float64
+}
+
+// GenerateStream draws a stream from the config.
+func GenerateStream(cfg StreamConfig, rng *rand.Rand) (*Stream, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("multi: stream needs > 0 jobs, got %d", cfg.Jobs)
+	}
+	if cfg.MeanInterarrival < 0 {
+		return nil, fmt.Errorf("multi: negative mean interarrival %g", cfg.MeanInterarrival)
+	}
+	jobs := make([]JobSpec, cfg.Jobs)
+	var clock float64
+	for i := range jobs {
+		g, err := workload.Generate(cfg.Workload, rng)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = JobSpec{Release: int64(clock), Graph: g, Weight: 1}
+		if cfg.MeanInterarrival > 0 {
+			clock += rng.ExpFloat64() * cfg.MeanInterarrival
+		}
+	}
+	return NewStream(jobs)
+}

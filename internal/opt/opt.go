@@ -1,0 +1,192 @@
+// Package opt computes exact optimal completion times for small
+// unit-work K-DAGs by exhaustive search, so the heuristics in
+// internal/core can be validated against the true optimum rather than
+// only against the L(J) lower bound.
+//
+// With unit-work tasks, time advances in unit rounds and there is
+// always an optimal schedule in which every round runs a maximal set
+// of ready tasks (adding a task to a round with spare capacity never
+// delays anything — it can only complete earlier than it otherwise
+// would). The search therefore explores, per round, every choice of
+// min(Pα, |readyα|) ready α-tasks for each type, memoizes on the
+// completed-task bitmask, and prunes with the per-type work bound.
+//
+// The state space is exponential; Makespan enforces a task-count cap
+// and an explored-state budget and fails loudly instead of hanging.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"fhs/internal/dag"
+)
+
+// MaxTasks is the largest job Makespan accepts. Beyond ~24 tasks the
+// bitmask state space is no longer tractable in tests.
+const MaxTasks = 24
+
+// defaultBudget bounds the number of explored (state, choice) pairs.
+const defaultBudget = 20_000_000
+
+// Makespan returns the exact optimal completion time of g on the
+// given machine. Every task must have unit work and g must have at
+// most MaxTasks tasks.
+func Makespan(g *dag.Graph, procs []int) (int64, error) {
+	if len(procs) != g.K() {
+		return 0, fmt.Errorf("opt: %d pools for a job with K=%d", len(procs), g.K())
+	}
+	for a, p := range procs {
+		if p <= 0 {
+			return 0, fmt.Errorf("opt: pool %d has %d processors, want > 0", a, p)
+		}
+	}
+	n := g.NumTasks()
+	if n == 0 {
+		return 0, nil
+	}
+	if n > MaxTasks {
+		return 0, fmt.Errorf("opt: job has %d tasks, cap is %d", n, MaxTasks)
+	}
+	for i := 0; i < n; i++ {
+		if g.Task(dag.TaskID(i)).Work != 1 {
+			return 0, fmt.Errorf("opt: task %d has work %d; only unit-work jobs are supported", i, g.Task(dag.TaskID(i)).Work)
+		}
+	}
+	s := &solver{
+		g:      g,
+		procs:  procs,
+		n:      n,
+		memo:   make(map[uint32]int32),
+		budget: defaultBudget,
+	}
+	s.parentMask = make([]uint32, n)
+	s.typeMask = make([]uint32, g.K())
+	for i := 0; i < n; i++ {
+		id := dag.TaskID(i)
+		for _, p := range g.Parents(id) {
+			s.parentMask[i] |= 1 << uint(p)
+		}
+		s.typeMask[g.Task(id).Type] |= 1 << uint(i)
+	}
+	full := uint32(1)<<uint(n) - 1
+	rounds, err := s.solve(0, full)
+	if err != nil {
+		return 0, err
+	}
+	return int64(rounds), nil
+}
+
+type solver struct {
+	g          *dag.Graph
+	procs      []int
+	n          int
+	parentMask []uint32 // per task: bitmask of its parents
+	typeMask   []uint32 // per type: bitmask of its tasks
+	memo       map[uint32]int32
+	budget     int
+}
+
+// lowerBound is the per-type work bound on remaining rounds.
+func (s *solver) lowerBound(mask, full uint32) int32 {
+	var lb int32
+	for a, tm := range s.typeMask {
+		remaining := bits.OnesCount32(tm &^ mask)
+		rounds := int32((remaining + s.procs[a] - 1) / s.procs[a])
+		if rounds > lb {
+			lb = rounds
+		}
+	}
+	_ = full
+	return lb
+}
+
+// solve returns the minimum number of unit rounds to complete the
+// tasks missing from mask.
+func (s *solver) solve(mask, full uint32) (int32, error) {
+	if mask == full {
+		return 0, nil
+	}
+	if v, ok := s.memo[mask]; ok {
+		return v, nil
+	}
+	if s.budget <= 0 {
+		return 0, fmt.Errorf("opt: search budget exhausted (job too hard)")
+	}
+	s.budget--
+
+	// Ready tasks per type.
+	readyByType := make([][]int, s.g.K())
+	for i := 0; i < s.n; i++ {
+		bit := uint32(1) << uint(i)
+		if mask&bit != 0 {
+			continue
+		}
+		if s.parentMask[i]&^mask != 0 {
+			continue
+		}
+		a := s.g.Task(dag.TaskID(i)).Type
+		readyByType[a] = append(readyByType[a], i)
+	}
+
+	best := int32(math.MaxInt32)
+	// Enumerate, per type, every maximal choice of ready tasks, and
+	// take the cartesian product across types.
+	var choose func(a int, chosen uint32) error
+	choose = func(a int, chosen uint32) error {
+		if a == s.g.K() {
+			if chosen == 0 {
+				return fmt.Errorf("opt: no ready tasks with %d/%d complete (cyclic graph?)", bits.OnesCount32(mask), s.n)
+			}
+			sub, err := s.solve(mask|chosen, full)
+			if err != nil {
+				return err
+			}
+			if sub+1 < best {
+				best = sub + 1
+			}
+			return nil
+		}
+		ready := readyByType[a]
+		k := s.procs[a]
+		if k > len(ready) {
+			k = len(ready)
+		}
+		if k == 0 {
+			return choose(a+1, chosen)
+		}
+		// Enumerate k-combinations of ready.
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			sel := chosen
+			for _, j := range idx {
+				sel |= 1 << uint(ready[j])
+			}
+			if err := choose(a+1, sel); err != nil {
+				return err
+			}
+			// Next combination.
+			i := k - 1
+			for i >= 0 && idx[i] == len(ready)-k+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+		return nil
+	}
+	if err := choose(0, 0); err != nil {
+		return 0, err
+	}
+	s.memo[mask] = best
+	return best, nil
+}

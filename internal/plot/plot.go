@@ -1,0 +1,194 @@
+// Package plot renders experiment tables as standalone SVG charts —
+// bar charts shaped like the paper's Figures 4, 6, 7 and 8 panels and
+// line charts shaped like its Figure 5 K-sweeps — using only the
+// standard library. The output is deterministic, so golden tests and
+// diffs stay meaningful.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fhs/internal/exp"
+)
+
+// palette holds fill colors assigned to schedulers in row order.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+const (
+	chartWidth   = 640
+	chartHeight  = 360
+	marginLeft   = 56
+	marginRight  = 16
+	marginTop    = 40
+	marginBottom = 72
+)
+
+// niceCeil rounds up to a pleasant axis maximum (1, 1.5, 2, 2.5, ...).
+func niceCeil(v float64) float64 {
+	if v <= 1 {
+		return 1
+	}
+	step := 0.5
+	m := 1.0
+	for m < v {
+		m += step
+	}
+	return m
+}
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func (s *svgBuilder) open(title string) {
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	s.b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&s.b, `<text x="%d" y="22" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		chartWidth/2, escape(title))
+}
+
+func (s *svgBuilder) axes(yMax float64, yLabel string) {
+	plotW := chartWidth - marginLeft - marginRight
+	plotH := chartHeight - marginTop - marginBottom
+	// Horizontal gridlines and tick labels every 0.5 ratio units.
+	for v := 0.0; v <= yMax+1e-9; v += 0.5 {
+		y := float64(marginTop+plotH) - v/yMax*float64(plotH)
+		fmt.Fprintf(&s.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&s.b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%.1f</text>`+"\n",
+			marginLeft-6, y+3, v)
+	}
+	fmt.Fprintf(&s.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&s.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&s.b, `<text x="14" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(yLabel))
+}
+
+func (s *svgBuilder) close() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+func escape(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(t)
+}
+
+// WriteBarSVG renders one panel as a bar chart of mean completion-time
+// ratios, one bar per scheduler, in the paper's figure style.
+func WriteBarSVG(w io.Writer, t exp.Table) error {
+	if len(t.Rows) == 0 {
+		return fmt.Errorf("plot: table %q has no rows", t.Name)
+	}
+	var yMax float64
+	for _, r := range t.Rows {
+		if r.Mean > yMax {
+			yMax = r.Mean
+		}
+	}
+	yMax = niceCeil(yMax * 1.1)
+
+	var s svgBuilder
+	s.open(t.Name)
+	s.axes(yMax, "avg completion time ratio")
+
+	plotW := chartWidth - marginLeft - marginRight
+	plotH := chartHeight - marginTop - marginBottom
+	slot := float64(plotW) / float64(len(t.Rows))
+	barW := slot * 0.6
+	for i, r := range t.Rows {
+		h := r.Mean / yMax * float64(plotH)
+		x := float64(marginLeft) + float64(i)*slot + (slot-barW)/2
+		y := float64(marginTop+plotH) - h
+		fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, y, barW, h, palette[i%len(palette)])
+		fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.2f</text>`+"\n",
+			x+barW/2, y-4, r.Mean)
+		cx := x + barW/2
+		labelY := marginTop + plotH + 12
+		fmt.Fprintf(&s.b, `<text x="%.1f" y="%d" font-size="9" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			cx, labelY, cx, labelY, escape(r.Scheduler))
+	}
+	_, err := io.WriteString(w, s.close())
+	return err
+}
+
+// WriteLinesSVG renders a sweep (e.g. Figure 5's K = 1..6) as a line
+// chart: one line per scheduler, one x position per table, labeled
+// with xLabels (len(xLabels) must equal len(tables); every table must
+// list the same schedulers in the same order).
+func WriteLinesSVG(w io.Writer, title string, tables []exp.Table, xLabels []string) error {
+	if len(tables) == 0 {
+		return fmt.Errorf("plot: no tables")
+	}
+	if len(xLabels) != len(tables) {
+		return fmt.Errorf("plot: %d labels for %d tables", len(xLabels), len(tables))
+	}
+	scheds := make([]string, len(tables[0].Rows))
+	for i, r := range tables[0].Rows {
+		scheds[i] = r.Scheduler
+	}
+	var yMax float64
+	for _, t := range tables {
+		if len(t.Rows) != len(scheds) {
+			return fmt.Errorf("plot: table %q has %d rows, want %d", t.Name, len(t.Rows), len(scheds))
+		}
+		for i, r := range t.Rows {
+			if r.Scheduler != scheds[i] {
+				return fmt.Errorf("plot: table %q row %d is %q, want %q", t.Name, i, r.Scheduler, scheds[i])
+			}
+			if r.Mean > yMax {
+				yMax = r.Mean
+			}
+		}
+	}
+	yMax = niceCeil(yMax * 1.1)
+
+	var s svgBuilder
+	s.open(title)
+	s.axes(yMax, "avg completion time ratio")
+
+	plotW := chartWidth - marginLeft - marginRight
+	plotH := chartHeight - marginTop - marginBottom
+	xAt := func(i int) float64 {
+		if len(tables) == 1 {
+			return float64(marginLeft) + float64(plotW)/2
+		}
+		return float64(marginLeft) + float64(i)/float64(len(tables)-1)*float64(plotW)
+	}
+	yAt := func(v float64) float64 {
+		return float64(marginTop+plotH) - v/yMax*float64(plotH)
+	}
+	for i, lab := range xLabels {
+		fmt.Fprintf(&s.b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			xAt(i), marginTop+plotH+14, escape(lab))
+	}
+	for si, name := range scheds {
+		color := palette[si%len(palette)]
+		var pts []string
+		for ti := range tables {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(ti), yAt(tables[ti].Rows[si].Mean)))
+		}
+		fmt.Fprintf(&s.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for ti := range tables {
+			fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xAt(ti), yAt(tables[ti].Rows[si].Mean), color)
+		}
+		// Legend entry.
+		lx := marginLeft + 8
+		ly := marginTop + 8 + 14*si
+		fmt.Fprintf(&s.b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&s.b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n", lx+14, ly, escape(name))
+	}
+	_, err := io.WriteString(w, s.close())
+	return err
+}

@@ -1,0 +1,134 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"fhs/internal/exp"
+)
+
+func sampleTable(name string) exp.Table {
+	return exp.Table{
+		Name: name,
+		Rows: []exp.Row{
+			{Scheduler: "KGreedy", Mean: 2.5, Max: 3},
+			{Scheduler: "MQB", Mean: 1.4, Max: 2},
+			{Scheduler: "LSpan & co", Mean: 2.0, Max: 2.5}, // exercises escaping
+		},
+	}
+}
+
+// wellFormed parses the SVG with encoding/xml to catch broken markup.
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, data)
+		}
+	}
+}
+
+func TestWriteBarSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBarSVG(&buf, sampleTable("Figure 4(d)")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	for _, want := range []string{"Figure 4(d)", "KGreedy", "MQB", "LSpan &amp; co", "<rect", "2.50", "1.40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Three data bars (plus the background rect and legend-free layout).
+	if got := strings.Count(out, "<rect"); got != 4 {
+		t.Errorf("found %d rects, want 4 (background + 3 bars)", got)
+	}
+}
+
+func TestWriteBarSVGEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBarSVG(&buf, exp.Table{Name: "empty"}); err == nil {
+		t.Error("accepted empty table")
+	}
+}
+
+func TestWriteLinesSVG(t *testing.T) {
+	tables := []exp.Table{sampleTable("K=1"), sampleTable("K=2"), sampleTable("K=3")}
+	tables[1].Rows[0].Mean = 2.8
+	tables[2].Rows[0].Mean = 3.1
+	var buf bytes.Buffer
+	if err := WriteLinesSVG(&buf, "Figure 5(a)", tables, []string{"1", "2", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 3 {
+		t.Errorf("found %d polylines, want 3", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 9 {
+		t.Errorf("found %d circles, want 9", got)
+	}
+	for _, want := range []string{"Figure 5(a)", "KGreedy", ">1<", ">3<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteLinesSVGValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLinesSVG(&buf, "x", nil, nil); err == nil {
+		t.Error("accepted no tables")
+	}
+	tables := []exp.Table{sampleTable("a")}
+	if err := WriteLinesSVG(&buf, "x", tables, []string{"1", "2"}); err == nil {
+		t.Error("accepted label count mismatch")
+	}
+	bad := []exp.Table{sampleTable("a"), {Name: "b", Rows: []exp.Row{{Scheduler: "KGreedy"}}}}
+	if err := WriteLinesSVG(&buf, "x", bad, []string{"1", "2"}); err == nil {
+		t.Error("accepted row count mismatch")
+	}
+	swapped := []exp.Table{sampleTable("a"), sampleTable("b")}
+	swapped[1].Rows[0], swapped[1].Rows[1] = swapped[1].Rows[1], swapped[1].Rows[0]
+	if err := WriteLinesSVG(&buf, "x", swapped, []string{"1", "2"}); err == nil {
+		t.Error("accepted scheduler order mismatch")
+	}
+}
+
+func TestWriteLinesSVGSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLinesSVG(&buf, "one", []exp.Table{sampleTable("a")}, []string{"4"}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0.4: 1, 1.0: 1, 1.2: 1.5, 2.2: 2.5, 3.9: 4}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteBarSVG(&a, sampleTable("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBarSVG(&b, sampleTable("t")); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("SVG output not deterministic")
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fhs/internal/dag"
+)
+
+// Run simulates g on the machine described by cfg under scheduler s
+// and returns the completion time and utilization statistics. The
+// scheduler's Prepare is invoked first, so a fresh or reusable
+// scheduler value may be passed; schedulers themselves are not used
+// concurrently by the engine.
+func Run(g *dag.Graph, s Scheduler, cfg Config) (Result, error) {
+	if err := cfg.Validate(g.K()); err != nil {
+		return Result{}, err
+	}
+	if err := s.Prepare(g, cfg); err != nil {
+		return Result{}, fmt.Errorf("sim: scheduler %s prepare: %w", s.Name(), err)
+	}
+	if cfg.Preemptive {
+		return runPreemptive(g, s, &cfg)
+	}
+	return runNonPreemptive(g, s, &cfg)
+}
+
+// runningTask is a heap entry for the non-preemptive engine.
+type runningTask struct {
+	finish int64
+	id     dag.TaskID
+}
+
+// runningHeap is a min-heap on finish time, breaking ties on task ID
+// for determinism.
+type runningHeap []runningTask
+
+func (h runningHeap) Len() int { return len(h) }
+func (h runningHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].id < h[j].id
+}
+func (h runningHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runningHeap) Push(x interface{}) { *h = append(*h, x.(runningTask)) }
+func (h *runningHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
+	st := newState(g, cfg)
+	res := Result{BusyTime: make([]int64, g.K())}
+	idle := append([]int(nil), cfg.Procs...)
+	var running runningHeap
+
+	n := g.NumTasks()
+	for st.nCompleted < n {
+		// Assignment phase: fill idle processors type by type. The pick
+		// loop re-asks the scheduler after every placement because
+		// queue-state-dependent policies (MQB) change their preference
+		// as assignments land.
+		for a := 0; a < g.K(); a++ {
+			alpha := dag.Type(a)
+			for idle[a] > 0 && st.QueueLen(alpha) > 0 {
+				id, ok := s.Pick(st, alpha)
+				if !ok {
+					break
+				}
+				if g.Task(id).Type != alpha || !st.dequeue(id) {
+					return res, fmt.Errorf("sim: scheduler %s picked task %d which is not ready on pool %d", s.Name(), id, a)
+				}
+				idle[a]--
+				res.Decisions++
+				heap.Push(&running, runningTask{finish: st.now + st.remaining[id], id: id})
+				if cfg.CollectTrace {
+					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
+				}
+			}
+		}
+		if running.Len() == 0 {
+			if st.nCompleted < n {
+				return res, fmt.Errorf("sim: scheduler %s stalled at t=%d with %d/%d tasks complete", s.Name(), st.now, st.nCompleted, n)
+			}
+			break
+		}
+		// Completion phase: advance to the earliest finish and retire
+		// every task finishing at that instant.
+		t := running[0].finish
+		if cfg.MaxTime > 0 && t > cfg.MaxTime {
+			return res, fmt.Errorf("sim: exceeded MaxTime=%d under scheduler %s", cfg.MaxTime, s.Name())
+		}
+		st.now = t
+		for running.Len() > 0 && running[0].finish == t {
+			rt := heap.Pop(&running).(runningTask)
+			alpha := g.Task(rt.id).Type
+			res.BusyTime[alpha] += st.remaining[rt.id]
+			st.remaining[rt.id] = 0
+			idle[alpha]++
+			st.complete(rt.id, nil)
+			if cfg.CollectTrace {
+				res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventFinish})
+			}
+		}
+	}
+	res.CompletionTime = st.now
+	res.Utilization = utilization(res.BusyTime, cfg.Procs, st.now)
+	return res, nil
+}
+
+func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
+	st := newState(g, cfg)
+	res := Result{BusyTime: make([]int64, g.K())}
+	quantum := cfg.Quantum
+	if quantum <= 0 {
+		quantum = 1
+	}
+	n := g.NumTasks()
+	assigned := make([]dag.TaskID, 0, 64)
+	for st.nCompleted < n {
+		if cfg.MaxTime > 0 && st.now > cfg.MaxTime {
+			return res, fmt.Errorf("sim: exceeded MaxTime=%d under scheduler %s", cfg.MaxTime, s.Name())
+		}
+		// Every processor is reassignable at a quantum boundary: all
+		// unfinished tasks are in the ready queues at this point.
+		assigned = assigned[:0]
+		for a := 0; a < g.K(); a++ {
+			alpha := dag.Type(a)
+			for p := 0; p < cfg.Procs[a] && st.QueueLen(alpha) > 0; p++ {
+				id, ok := s.Pick(st, alpha)
+				if !ok {
+					break
+				}
+				if g.Task(id).Type != alpha || !st.dequeue(id) {
+					return res, fmt.Errorf("sim: scheduler %s picked task %d which is not ready on pool %d", s.Name(), id, a)
+				}
+				res.Decisions++
+				assigned = append(assigned, id)
+				if cfg.CollectTrace {
+					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
+				}
+			}
+		}
+		if len(assigned) == 0 {
+			return res, fmt.Errorf("sim: scheduler %s stalled at t=%d with %d/%d tasks complete", s.Name(), st.now, st.nCompleted, n)
+		}
+		// Run the quantum, shortened so no task overshoots completion.
+		step := quantum
+		for _, id := range assigned {
+			if r := st.remaining[id]; r < step {
+				step = r
+			}
+		}
+		st.now += step
+		requeued := false
+		for _, id := range assigned {
+			alpha := g.Task(id).Type
+			st.remaining[id] -= step
+			res.BusyTime[alpha] += step
+			if st.remaining[id] == 0 {
+				st.complete(id, nil)
+				if cfg.CollectTrace {
+					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventFinish})
+				}
+			} else {
+				st.enqueue(id)
+				requeued = true
+				if cfg.CollectTrace {
+					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventPreempt})
+				}
+			}
+		}
+		if requeued {
+			st.sortQueues()
+		}
+	}
+	res.CompletionTime = st.now
+	res.Utilization = utilization(res.BusyTime, cfg.Procs, st.now)
+	return res, nil
+}
+
+func utilization(busy []int64, procs []int, makespan int64) []float64 {
+	u := make([]float64, len(busy))
+	if makespan == 0 {
+		return u
+	}
+	for a := range busy {
+		u[a] = float64(busy[a]) / (float64(procs[a]) * float64(makespan))
+	}
+	return u
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fhs/internal/dag"
+)
+
+// WriteGantt renders a simulation trace as an ASCII Gantt chart: one
+// row per processor, one column per time unit, task IDs drawn in
+// base-36 (looping after 36 tasks — the chart is a debugging aid, not
+// an identifier-preserving format). Idle time prints as '.'.
+//
+// The trace must have been collected with Config.CollectTrace. Width
+// caps the number of time columns (0 = 120); longer schedules are
+// truncated with a marker.
+func WriteGantt(w io.Writer, g *dag.Graph, res *Result, procs []int, width int) error {
+	if width <= 0 {
+		width = 120
+	}
+	span := res.CompletionTime
+	truncated := false
+	if span > int64(width) {
+		span = int64(width)
+		truncated = true
+	}
+
+	// Reconstruct per-task execution intervals from the trace. Under
+	// preemption a task has several intervals.
+	type interval struct {
+		task       dag.TaskID
+		start, end int64
+	}
+	open := map[dag.TaskID]int64{}
+	byType := make(map[dag.Type][]interval)
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case EventStart:
+			open[ev.Task] = ev.Time
+		case EventPreempt, EventFinish:
+			start, ok := open[ev.Task]
+			if !ok {
+				return fmt.Errorf("sim: trace has %v for task %d without a start", ev.Kind, ev.Task)
+			}
+			delete(open, ev.Task)
+			byType[ev.Type] = append(byType[ev.Type], interval{ev.Task, start, ev.Time})
+		}
+	}
+	if len(open) > 0 {
+		return fmt.Errorf("sim: trace has %d unterminated executions", len(open))
+	}
+
+	glyph := func(id dag.TaskID) byte {
+		const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+		return digits[int(id)%len(digits)]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=0..%d (completion %d%s)\n", span, res.CompletionTime,
+		map[bool]string{true: ", truncated", false: ""}[truncated])
+	for a := 0; a < len(procs); a++ {
+		ivs := byType[dag.Type(a)]
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].start != ivs[j].start {
+				return ivs[i].start < ivs[j].start
+			}
+			return ivs[i].task < ivs[j].task
+		})
+		// Greedy lane assignment: place each interval on the first
+		// processor lane free at its start time.
+		lanes := make([][]byte, procs[a])
+		laneEnd := make([]int64, procs[a])
+		for i := range lanes {
+			lanes[i] = []byte(strings.Repeat(".", int(span)))
+		}
+		for _, iv := range ivs {
+			lane := -1
+			for l := range laneEnd {
+				if laneEnd[l] <= iv.start {
+					lane = l
+					break
+				}
+			}
+			if lane < 0 {
+				return fmt.Errorf("sim: trace overflows %d processors of type %d at t=%d", procs[a], a, iv.start)
+			}
+			laneEnd[lane] = iv.end
+			for t := iv.start; t < iv.end && t < span; t++ {
+				lanes[lane][t] = glyph(iv.task)
+			}
+		}
+		for l, lane := range lanes {
+			fmt.Fprintf(&b, "type%d.%-2d |%s|\n", a, l, string(lane))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

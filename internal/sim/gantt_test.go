@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fhs/internal/dag"
+)
+
+func TestGanttChain(t *testing.T) {
+	g := mustChain(t, 2, []int64{2, 3}, []dag.Type{0, 1})
+	procs := []int{1, 1}
+	res, err := Run(g, fifo{}, Config{Procs: procs, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 processor rows
+		t.Fatalf("gantt has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "|00...|") {
+		t.Errorf("type0 row = %q, want task 0 for 2 units then idle", lines[1])
+	}
+	if !strings.Contains(lines[2], "|..111|") {
+		t.Errorf("type1 row = %q, want idle then task 1 for 3 units", lines[2])
+	}
+}
+
+func TestGanttParallelLanes(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 2)
+	b.AddTask(0, 2)
+	g := b.MustBuild()
+	procs := []int{2}
+	res, err := Run(g, fifo{}, Config{Procs: procs, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|00|") || !strings.Contains(out, "|11|") {
+		t.Errorf("expected two busy lanes:\n%s", out)
+	}
+}
+
+func TestGanttTruncation(t *testing.T) {
+	g := mustChain(t, 1, []int64{50}, []dag.Type{0})
+	procs := []int{1}
+	res, err := Run(g, fifo{}, Config{Procs: procs, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, &res, procs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "truncated") {
+		t.Error("missing truncation marker")
+	}
+}
+
+func TestGanttPreemptiveIntervals(t *testing.T) {
+	// LIFO on one processor with two tasks produces preempt events;
+	// the chart must reassemble the pieces without error.
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 3)
+	b.AddTask(0, 3)
+	g := b.MustBuild()
+	procs := []int{1}
+	res, err := Run(g, lifo{}, Config{Procs: procs, Preemptive: true, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+		t.Fatal(err)
+	}
+	row := buf.String()
+	// The single lane must be fully busy for 6 units.
+	if strings.Count(row, ".") != 0 && strings.Contains(row, "|......|") {
+		t.Errorf("lane should be busy:\n%s", row)
+	}
+}
+
+func TestGanttRequiresTrace(t *testing.T) {
+	g := mustChain(t, 1, []int64{2}, []dag.Type{0})
+	procs := []int{1}
+	res, err := Run(g, fifo{}, Config{Procs: procs}) // no trace
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Without a trace the chart renders all-idle lanes; that is not an
+	// error, but the lane must be empty.
+	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|..|") {
+		t.Errorf("traceless chart should be idle:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,140 @@
+// Package sim implements the discrete-time simulator the paper's
+// evaluation is built on: a machine with K typed processor pools
+// executing one K-DAG job under a pluggable scheduling policy.
+//
+// The engine owns all mechanism — ready queues, the clock, precedence
+// bookkeeping, utilization accounting — while a Scheduler supplies only
+// policy: given the current State and a resource type with an idle
+// processor, pick the next ready task of that type.
+//
+// Two execution modes mirror the paper (Section IV, last paragraph):
+//
+//   - Non-preemptive: a task is chosen when a processor goes idle and
+//     runs to completion there. The engine is event-driven and jumps
+//     straight to the next completion time.
+//   - Preemptive: at every scheduling quantum all running tasks rejoin
+//     their ready queues (with their remaining work) and the scheduler
+//     reassigns every processor from scratch. Reallocation overhead is
+//     zero, as in the paper.
+package sim
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+)
+
+// Config describes the machine and execution mode for one simulation.
+type Config struct {
+	// Procs holds Pα, the number of processors of each type. Its length
+	// must equal the job's K and every entry must be positive.
+	Procs []int
+
+	// Preemptive selects quantum-based rescheduling when true.
+	Preemptive bool
+
+	// Quantum is the scheduling quantum for preemptive mode; 0 means 1.
+	// Ignored in non-preemptive mode.
+	Quantum int64
+
+	// CollectTrace records per-task start/preempt/finish events.
+	CollectTrace bool
+
+	// MaxTime aborts the simulation with an error if the clock exceeds
+	// it; 0 means no limit. It exists to turn scheduler bugs (starvation)
+	// into errors instead of hangs.
+	MaxTime int64
+}
+
+// K returns the number of resource types the config provisions.
+func (c *Config) K() int { return len(c.Procs) }
+
+// Validate checks the config against a job with k resource types.
+func (c *Config) Validate(k int) error {
+	if len(c.Procs) != k {
+		return fmt.Errorf("sim: config has %d processor pools, job has K=%d", len(c.Procs), k)
+	}
+	for a, p := range c.Procs {
+		if p <= 0 {
+			return fmt.Errorf("sim: pool %d has %d processors, want > 0", a, p)
+		}
+	}
+	if c.Quantum < 0 {
+		return fmt.Errorf("sim: negative quantum %d", c.Quantum)
+	}
+	return nil
+}
+
+// Scheduler is a scheduling policy. Implementations live in
+// internal/core; the engine calls Prepare once per (job, machine) pair
+// and then Pick whenever a processor of some type can accept a task.
+type Scheduler interface {
+	// Name identifies the policy in reports ("MQB", "KGreedy", ...).
+	Name() string
+
+	// Prepare is called before simulation starts. Offline policies
+	// precompute lookahead data from the full graph here; online
+	// policies must ignore everything except K and the pool sizes —
+	// that convention is what makes them "online".
+	Prepare(g *dag.Graph, cfg Config) error
+
+	// Pick returns the ready task of type alpha to run next, or
+	// ok=false to leave the remaining processors of that pool idle this
+	// round. The returned task must be in st.Ready(alpha).
+	Pick(st *State, alpha dag.Type) (id dag.TaskID, ok bool)
+}
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EventStart records a task beginning execution on a processor.
+	EventStart EventKind = iota
+	// EventPreempt records a running task returning to its ready queue.
+	EventPreempt
+	// EventFinish records a task completing.
+	EventFinish
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventPreempt:
+		return "preempt"
+	case EventFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of a simulation trace.
+type Event struct {
+	Time int64
+	Task dag.TaskID
+	Type dag.Type
+	Kind EventKind
+}
+
+// Result summarizes one finished simulation.
+type Result struct {
+	// CompletionTime is T(J): the time at which the last task finished.
+	CompletionTime int64
+
+	// BusyTime[α] is the total processor-time spent executing α-tasks.
+	// It always equals the job's TypedWork(α) on success; it is reported
+	// so utilization can be audited.
+	BusyTime []int64
+
+	// Utilization[α] = BusyTime[α] / (Pα · CompletionTime), the average
+	// fraction of pool α kept busy. Zero-length jobs report zeros.
+	Utilization []float64
+
+	// Decisions counts Pick calls that assigned a task, a rough measure
+	// of scheduler invocation cost.
+	Decisions int64
+
+	// Trace holds per-task events when Config.CollectTrace is set.
+	Trace []Event
+}

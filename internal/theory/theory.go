@@ -1,0 +1,145 @@
+// Package theory implements the closed-form results of Sections II-III:
+// the balls-in-a-box expectation of Lemma 1, the randomized online
+// lower bound of Theorem 2, the earlier deterministic lower bound of
+// He, Sun and Hsu, and the KGreedy competitive upper bound — plus
+// Monte-Carlo helpers that verify them empirically in tests and in the
+// examples/lowerbound program.
+package theory
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lemma1Expected returns the expected number of draws, without
+// replacement, to collect all r red balls out of n total:
+// E[Q] = r(n+1)/(r+1) (Lemma 1).
+func Lemma1Expected(n, r int) (float64, error) {
+	if n <= 0 || r <= 0 || r > n {
+		return 0, fmt.Errorf("theory: invalid ball counts n=%d r=%d", n, r)
+	}
+	return float64(r) * float64(n+1) / float64(r+1), nil
+}
+
+// Lemma1Simulate estimates the Lemma 1 expectation by simulation:
+// trials random permutations of n balls with r reds, averaging the
+// position of the last red ball.
+func Lemma1Simulate(n, r, trials int, rng *rand.Rand) (float64, error) {
+	if n <= 0 || r <= 0 || r > n {
+		return 0, fmt.Errorf("theory: invalid ball counts n=%d r=%d", n, r)
+	}
+	if trials <= 0 {
+		return 0, fmt.Errorf("theory: trials = %d, want > 0", trials)
+	}
+	var sum int64
+	for t := 0; t < trials; t++ {
+		perm := rng.Perm(n)
+		last := 0
+		for pos, ball := range perm {
+			if ball < r && pos > last {
+				last = pos
+			}
+		}
+		sum += int64(last) + 1 // positions are 1-based draws
+	}
+	return float64(sum) / float64(trials), nil
+}
+
+// RandomizedLowerBound returns the Theorem 2 bound on the competitive
+// ratio of any randomized online algorithm for K-DAG scheduling:
+//
+//	K + 1 − Σα 1/(Pα+1) − 1/(Pmax+1)
+//
+// where the sum runs over all K types. (The abstract drops the +1 on
+// the trailing Pmax term; we implement the inequality actually derived
+// in the proof, Inequality (4).)
+func RandomizedLowerBound(procs []int) (float64, error) {
+	if len(procs) == 0 {
+		return 0, fmt.Errorf("theory: no processor pools")
+	}
+	k := len(procs)
+	pmax := 0
+	sum := 0.0
+	for a, p := range procs {
+		if p <= 0 {
+			return 0, fmt.Errorf("theory: pool %d has %d processors, want > 0", a, p)
+		}
+		sum += 1 / float64(p+1)
+		if p > pmax {
+			pmax = p
+		}
+	}
+	return float64(k) + 1 - sum - 1/float64(pmax+1), nil
+}
+
+// DeterministicLowerBound returns the He-Sun-Hsu bound for
+// deterministic online algorithms: K + 1 − 1/Pmax.
+func DeterministicLowerBound(procs []int) (float64, error) {
+	if len(procs) == 0 {
+		return 0, fmt.Errorf("theory: no processor pools")
+	}
+	pmax := 0
+	for a, p := range procs {
+		if p <= 0 {
+			return 0, fmt.Errorf("theory: pool %d has %d processors, want > 0", a, p)
+		}
+		if p > pmax {
+			pmax = p
+		}
+	}
+	return float64(len(procs)) + 1 - 1/float64(pmax), nil
+}
+
+// KGreedyUpperBound returns KGreedy's competitive guarantee, K + 1,
+// for a machine with K types.
+func KGreedyUpperBound(k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("theory: K = %d, want > 0", k)
+	}
+	return float64(k) + 1, nil
+}
+
+// AdversarialOptimum returns the offline optimal completion time of
+// the Theorem 2 instance: T*(J) = K − 1 + M·PK, where PK is the last
+// (maximum) pool.
+func AdversarialOptimum(procs []int, m int) (int64, error) {
+	if len(procs) == 0 {
+		return 0, fmt.Errorf("theory: no processor pools")
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("theory: M = %d, want > 0", m)
+	}
+	pk := procs[len(procs)-1]
+	if pk <= 0 {
+		return 0, fmt.Errorf("theory: last pool has %d processors, want > 0", pk)
+	}
+	return int64(len(procs)) - 1 + int64(m)*int64(pk), nil
+}
+
+// AdversarialExpectedOnline returns the Theorem 2 proof's lower bound
+// on the expected completion time of any online algorithm on the
+// adversarial instance:
+//
+//	(K + 1 − Σα 1/(Pα+1))·M·PK − PK/(PK+1)·M − 1
+//
+// Comparing a measured online schedule against this (and against
+// AdversarialOptimum) demonstrates the Ω(K) separation empirically.
+func AdversarialExpectedOnline(procs []int, m int) (float64, error) {
+	if len(procs) == 0 {
+		return 0, fmt.Errorf("theory: no processor pools")
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("theory: M = %d, want > 0", m)
+	}
+	k := len(procs)
+	pk := procs[k-1]
+	sum := 0.0
+	for a, p := range procs {
+		if p <= 0 {
+			return 0, fmt.Errorf("theory: pool %d has %d processors, want > 0", a, p)
+		}
+		sum += 1 / float64(p+1)
+	}
+	mpk := float64(m) * float64(pk)
+	return (float64(k)+1-sum)*mpk - float64(pk)/float64(pk+1)*float64(m) - 1, nil
+}

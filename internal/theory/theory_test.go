@@ -1,0 +1,181 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLemma1ExpectedKnownValues(t *testing.T) {
+	cases := []struct {
+		n, r int
+		want float64
+	}{
+		{1, 1, 1},      // one red ball: first draw
+		{2, 1, 1.5},    // r/(r+1)·(n+1) = 1/2·3
+		{10, 10, 10},   // all red: exactly n draws
+		{10, 1, 5.5},   // single red among 10
+		{100, 4, 80.8}, // 4/5·101
+	}
+	for _, c := range cases {
+		got, err := Lemma1Expected(c.n, c.r)
+		if err != nil {
+			t.Errorf("Lemma1Expected(%d,%d): %v", c.n, c.r, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Lemma1Expected(%d,%d) = %g, want %g", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestLemma1Errors(t *testing.T) {
+	for _, c := range [][2]int{{0, 1}, {5, 0}, {3, 4}, {-1, -1}} {
+		if _, err := Lemma1Expected(c[0], c[1]); err == nil {
+			t.Errorf("accepted n=%d r=%d", c[0], c[1])
+		}
+	}
+	if _, err := Lemma1Simulate(0, 1, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Lemma1Simulate accepted n=0")
+	}
+	if _, err := Lemma1Simulate(5, 2, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Lemma1Simulate accepted trials=0")
+	}
+}
+
+func TestLemma1SimulationMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range [][2]int{{20, 3}, {50, 10}, {8, 8}, {30, 1}} {
+		want, err := Lemma1Expected(c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Lemma1Simulate(c[0], c[1], 20000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.05*want+0.3 {
+			t.Errorf("simulate(n=%d,r=%d) = %g, formula %g", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestRandomizedLowerBoundFormula(t *testing.T) {
+	// K=2, P=[2,3]: 3 − 1/3 − 1/4 − 1/4 = 2.1666...
+	got, err := RandomizedLowerBound([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 - 1.0/3 - 1.0/4 - 1.0/4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound = %g, want %g", got, want)
+	}
+}
+
+func TestDeterministicLowerBoundFormula(t *testing.T) {
+	got, err := DeterministicLowerBound([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(3-0.25)) > 1e-12 {
+		t.Errorf("bound = %g, want 2.75", got)
+	}
+}
+
+func TestBoundErrors(t *testing.T) {
+	if _, err := RandomizedLowerBound(nil); err == nil {
+		t.Error("RandomizedLowerBound accepted empty")
+	}
+	if _, err := RandomizedLowerBound([]int{2, 0}); err == nil {
+		t.Error("RandomizedLowerBound accepted zero pool")
+	}
+	if _, err := DeterministicLowerBound(nil); err == nil {
+		t.Error("DeterministicLowerBound accepted empty")
+	}
+	if _, err := DeterministicLowerBound([]int{0}); err == nil {
+		t.Error("DeterministicLowerBound accepted zero pool")
+	}
+	if _, err := KGreedyUpperBound(0); err == nil {
+		t.Error("KGreedyUpperBound accepted K=0")
+	}
+	if _, err := AdversarialOptimum(nil, 1); err == nil {
+		t.Error("AdversarialOptimum accepted empty")
+	}
+	if _, err := AdversarialOptimum([]int{2}, 0); err == nil {
+		t.Error("AdversarialOptimum accepted M=0")
+	}
+	if _, err := AdversarialExpectedOnline(nil, 1); err == nil {
+		t.Error("AdversarialExpectedOnline accepted empty")
+	}
+	if _, err := AdversarialExpectedOnline([]int{1}, 0); err == nil {
+		t.Error("AdversarialExpectedOnline accepted M=0")
+	}
+	if _, err := AdversarialExpectedOnline([]int{0}, 1); err == nil {
+		t.Error("AdversarialExpectedOnline accepted zero pool")
+	}
+}
+
+func TestKGreedyUpperBound(t *testing.T) {
+	got, err := KGreedyUpperBound(4)
+	if err != nil || got != 5 {
+		t.Errorf("KGreedyUpperBound(4) = %g, %v; want 5", got, err)
+	}
+}
+
+func TestAdversarialOptimum(t *testing.T) {
+	got, err := AdversarialOptimum([]int{2, 3}, 4)
+	if err != nil || got != 2-1+4*3 {
+		t.Errorf("optimum = %d, %v; want 13", got, err)
+	}
+}
+
+func TestPropertyRandomizedBelowDeterministicBound(t *testing.T) {
+	// The randomized bound is always at most the deterministic one
+	// (randomization cannot make the adversary's life easier... the
+	// deterministic bound K+1−1/Pmax dominates K+1−Σ1/(Pα+1)−1/(Pmax+1)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(20)
+		}
+		r, err1 := RandomizedLowerBound(procs)
+		d, err2 := DeterministicLowerBound(procs)
+		u, err3 := KGreedyUpperBound(k)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return r <= d+1e-9 && d <= u+1e-9 && r > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExpectedOnlineBetweenOptimumAndUpperBound(t *testing.T) {
+	// For large M the expected online completion divided by the optimum
+	// approaches the randomized bound from below; check the gross
+	// ordering T* ≤ E[T_online] for sane configurations.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		pk := 2 + rng.Intn(6)
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + rng.Intn(pk)
+		}
+		procs[k-1] = pk
+		m := 8 + rng.Intn(20)
+		opt, err1 := AdversarialOptimum(procs, m)
+		online, err2 := AdversarialExpectedOnline(procs, m)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return online >= float64(opt)*0.9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhs/internal/dag"
+)
+
+// AdversarialConfig describes the Theorem 2 lower-bound instance
+// (Figure 2): the job family on which no online algorithm can beat
+// roughly (K+1)-competitiveness because the "active" tasks that gate
+// each next type are hidden uniformly among look-alike siblings.
+type AdversarialConfig struct {
+	// Procs holds Pα per type. The construction assumes the last type
+	// has the maximum pool (PK = Pmax), as in the paper's proof; Build
+	// enforces it.
+	Procs []int
+	// M is the paper's positive integer constant m. The offline optimum
+	// is K − 1 + M·PK; online algorithms degrade toward (K+1)× that as
+	// M and the pools grow.
+	M int
+}
+
+// AdversarialJob is a generated lower-bound instance together with the
+// bookkeeping needed to evaluate schedulers against it.
+type AdversarialJob struct {
+	Graph *dag.Graph
+	// Active[α] lists the active α-tasks: the tasks whose completion
+	// releases the next type (or, for the last type, the chain head).
+	Active [][]dag.TaskID
+	// Chain lists the chain tasks of the last type, head first.
+	Chain []dag.TaskID
+	// OptimalTime is the offline optimal completion time
+	// T*(J) = K − 1 + M·PK derived in the proof of Theorem 2.
+	OptimalTime int64
+}
+
+// Validate checks the construction's preconditions.
+func (c *AdversarialConfig) Validate() error {
+	k := len(c.Procs)
+	if k == 0 {
+		return fmt.Errorf("workload: adversarial config has no processor pools")
+	}
+	pk := c.Procs[k-1]
+	for a, p := range c.Procs {
+		if p <= 0 {
+			return fmt.Errorf("workload: pool %d has %d processors, want > 0", a, p)
+		}
+		if p > pk {
+			return fmt.Errorf("workload: adversarial construction needs PK = Pmax; pool %d has %d > PK = %d", a, p, pk)
+		}
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("workload: adversarial M = %d, want > 0", c.M)
+	}
+	return nil
+}
+
+// Adversarial draws one instance from the Theorem 2 distribution:
+//
+//   - Type α (0-indexed) has Pα·PK·M unit-work tasks.
+//   - For α < K−1, Pα of them — chosen uniformly — are "active" and
+//     have edges to every (α+1)-task; the rest have no outgoing edges.
+//   - Of the last type's tasks, M·PK − 1 form a chain; PK active tasks
+//     chosen uniformly among the non-chain remainder feed the chain
+//     head.
+//
+// An online scheduler cannot tell active tasks from inactive ones, so
+// in expectation it drains almost a full type's queue before unlocking
+// the next type; an offline scheduler runs the active tasks first and
+// pipelines everything.
+func Adversarial(c AdversarialConfig, rng *rand.Rand) (*AdversarialJob, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(c.Procs)
+	pk := c.Procs[k-1]
+	b := dag.NewBuilder(k)
+	job := &AdversarialJob{
+		Active:      make([][]dag.TaskID, k),
+		OptimalTime: int64(k-1) + int64(c.M)*int64(pk),
+	}
+
+	// Create the plain task pools for every type.
+	pools := make([][]dag.TaskID, k)
+	for a := 0; a < k; a++ {
+		n := c.Procs[a] * pk * c.M
+		pools[a] = make([]dag.TaskID, n)
+		for i := 0; i < n; i++ {
+			pools[a][i] = b.AddTask(dag.Type(a), 1)
+		}
+	}
+
+	// Convert the last type: the final M·PK − 1 tasks of its pool
+	// become the chain (kept as ordinary tasks, linked below), so the
+	// non-chain candidates are the remaining PK²M − M·PK + 1 tasks.
+	chainLen := c.M*pk - 1
+	lastPool := pools[k-1]
+	job.Chain = lastPool[len(lastPool)-chainLen:]
+	nonChain := lastPool[:len(lastPool)-chainLen]
+	b.AddChain(job.Chain...)
+
+	// Activate Pα uniform tasks per type and wire their edges.
+	for a := 0; a < k-1; a++ {
+		job.Active[a] = sample(rng, pools[a], c.Procs[a])
+		for _, act := range job.Active[a] {
+			for _, next := range pools[a+1] {
+				b.AddEdge(act, next)
+			}
+		}
+	}
+	job.Active[k-1] = sample(rng, nonChain, pk)
+	if len(job.Chain) > 0 {
+		for _, act := range job.Active[k-1] {
+			b.AddEdge(act, job.Chain[0])
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	job.Graph = g
+	return job, nil
+}
+
+// sample returns n distinct elements of pool chosen uniformly,
+// preserving no particular order. It panics if n > len(pool), which
+// Validate prevents.
+func sample(rng *rand.Rand, pool []dag.TaskID, n int) []dag.TaskID {
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]dag.TaskID, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}

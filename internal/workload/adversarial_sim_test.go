@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+	"fhs/internal/theory"
+)
+
+// oracle is the offline scheduler from the Theorem 2 proof: it always
+// runs active tasks (and chain tasks) first, achieving T* = K−1+M·PK.
+type oracle struct {
+	priority map[dag.TaskID]bool
+}
+
+func newOracle(job *AdversarialJob) *oracle {
+	o := &oracle{priority: make(map[dag.TaskID]bool)}
+	for _, acts := range job.Active {
+		for _, id := range acts {
+			o.priority[id] = true
+		}
+	}
+	for _, id := range job.Chain {
+		o.priority[id] = true
+	}
+	return o
+}
+
+func (*oracle) Name() string                         { return "oracle" }
+func (*oracle) Prepare(*dag.Graph, sim.Config) error { return nil }
+func (o *oracle) Pick(st *sim.State, a dag.Type) (dag.TaskID, bool) {
+	q := st.Ready(a)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	for _, id := range q {
+		if o.priority[id] {
+			return id, true
+		}
+	}
+	return q[0], true
+}
+
+func TestAdversarialOracleAchievesOptimum(t *testing.T) {
+	cfg := AdversarialConfig{Procs: []int{3, 3, 3, 3}, M: 4}
+	job, err := Adversarial(cfg, rng(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(job.Graph, newOracle(job), sim.Config{Procs: cfg.Procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime != job.OptimalTime {
+		t.Errorf("oracle completion = %d, want optimal %d", res.CompletionTime, job.OptimalTime)
+	}
+	want, err := theory.AdversarialOptimum(cfg.Procs, cfg.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.OptimalTime != want {
+		t.Errorf("OptimalTime %d != theory %d", job.OptimalTime, want)
+	}
+}
+
+func TestAdversarialSeparatesOnlineFromOffline(t *testing.T) {
+	// The Ω(K) separation of Theorem 2: KGreedy's mean completion time
+	// on the adversarial distribution exceeds the proof's expected
+	// online lower bound (within sampling slack), which itself is far
+	// above the offline optimum.
+	cfg := AdversarialConfig{Procs: []int{3, 3, 3, 3}, M: 4}
+	expOnline, err := theory.AdversarialExpectedOnline(cfg.Procs, cfg.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	const n = 40
+	for i := 0; i < n; i++ {
+		job, err := Adversarial(cfg, rng(int64(200+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(job.Graph, core.NewKGreedy(), sim.Config{Procs: cfg.Procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += float64(res.CompletionTime)
+	}
+	mean /= n
+	opt := float64(4 - 1 + 4*3)
+	if mean < 2.5*opt {
+		t.Errorf("KGreedy mean %0.1f is not well above optimum %0.0f; expected Ω(K) separation", mean, opt)
+	}
+	// The proof's bound is an expectation over the distribution; allow
+	// 15% sampling slack.
+	if mean < 0.85*expOnline {
+		t.Errorf("KGreedy mean %0.1f below the theoretical online bound %0.1f", mean, expOnline)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fhs/internal/dag"
+)
+
+func TestAdversarialValidation(t *testing.T) {
+	bad := []AdversarialConfig{
+		{},                          // no pools
+		{Procs: []int{2, 3}, M: 0},  // M = 0
+		{Procs: []int{0, 2}, M: 1},  // zero pool
+		{Procs: []int{5, 2}, M: 1},  // PK not max
+		{Procs: []int{2, -1}, M: 1}, // negative pool
+	}
+	for i, cfg := range bad {
+		if _, err := Adversarial(cfg, rng(1)); err == nil {
+			t.Errorf("case %d: accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestAdversarialStructure(t *testing.T) {
+	cfg := AdversarialConfig{Procs: []int{2, 3}, M: 2}
+	job, err := Adversarial(cfg, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := job.Graph
+	k, pk, m := 2, 3, 2
+	// Task counts: type α has Pα·PK·M tasks.
+	counts := g.TypeCount()
+	if counts[0] != 2*pk*m || counts[1] != 3*pk*m {
+		t.Errorf("type counts = %v, want [%d %d]", counts, 2*pk*m, 3*pk*m)
+	}
+	// All unit work.
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Task(dag.TaskID(i)).Work != 1 {
+			t.Fatalf("task %d has work %d, want 1", i, g.Task(dag.TaskID(i)).Work)
+		}
+	}
+	// Active counts.
+	if len(job.Active[0]) != 2 || len(job.Active[1]) != pk {
+		t.Errorf("active counts = %d,%d want 2,%d", len(job.Active[0]), len(job.Active[1]), pk)
+	}
+	// Chain has M·PK − 1 tasks linked linearly.
+	if len(job.Chain) != m*pk-1 {
+		t.Fatalf("chain length = %d, want %d", len(job.Chain), m*pk-1)
+	}
+	for i := 0; i+1 < len(job.Chain); i++ {
+		cs := g.Children(job.Chain[i])
+		if len(cs) != 1 || cs[0] != job.Chain[i+1] {
+			t.Fatalf("chain broken at %d", i)
+		}
+	}
+	// Every active type-0 task points to every type-1 task.
+	want1 := counts[1]
+	for _, act := range job.Active[0] {
+		if len(g.Children(act)) != want1 {
+			t.Errorf("active 0-task has %d children, want %d", len(g.Children(act)), want1)
+		}
+	}
+	// Active last-type tasks point to the chain head.
+	for _, act := range job.Active[k-1] {
+		cs := g.Children(act)
+		if len(cs) != 1 || cs[0] != job.Chain[0] {
+			t.Errorf("active last-type task children = %v, want [chain head]", cs)
+		}
+	}
+	// Optimal time formula.
+	if job.OptimalTime != int64(k-1+m*pk) {
+		t.Errorf("OptimalTime = %d, want %d", job.OptimalTime, k-1+m*pk)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdversarialSingleType(t *testing.T) {
+	job, err := Adversarial(AdversarialConfig{Procs: []int{2}, M: 2}, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Graph.NumTasks() != 2*2*2 {
+		t.Errorf("tasks = %d, want 8", job.Graph.NumTasks())
+	}
+	if len(job.Chain) != 3 {
+		t.Errorf("chain = %d, want 3", len(job.Chain))
+	}
+}
+
+func TestAdversarialDegenerateChain(t *testing.T) {
+	// PK=1, M=1: chain length 0; active tasks have no outgoing edges.
+	job, err := Adversarial(AdversarialConfig{Procs: []int{1}, M: 1}, rng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Chain) != 0 {
+		t.Errorf("chain = %d, want 0", len(job.Chain))
+	}
+	if job.Graph.NumTasks() != 1 {
+		t.Errorf("tasks = %d, want 1", job.Graph.NumTasks())
+	}
+}
+
+func TestPropertyAdversarialSpanMatchesConstruction(t *testing.T) {
+	// The critical path runs through K-1 active tasks plus the chain
+	// head feeders plus the chain: span = K + (M·PK − 1) when K > 1.
+	f := func(seed int64) bool {
+		r := rng(seed)
+		k := 1 + r.Intn(3)
+		pk := 1 + r.Intn(3)
+		procs := make([]int, k)
+		for i := range procs {
+			procs[i] = 1 + r.Intn(pk)
+		}
+		procs[k-1] = pk
+		m := 1 + r.Intn(3)
+		job, err := Adversarial(AdversarialConfig{Procs: procs, M: m}, r)
+		if err != nil {
+			return false
+		}
+		if job.Graph.Validate() != nil {
+			return false
+		}
+		want := int64(k + m*pk - 1)
+		if m*pk-1 == 0 {
+			// No chain: span is just the K stage tasks.
+			want = int64(k)
+		}
+		return job.Graph.Span() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

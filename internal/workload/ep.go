@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fhs/internal/dag"
+)
+
+// generateEP builds an embarrassingly parallel job: independent chains
+// of tasks (Figure 3(a)).
+//
+// With layered typing each branch is a flow-shop-like pipeline: K
+// contiguous segments of tasks, segment s entirely of type s, in order
+// 0..K-1 — "a fixed sequence of tasks with type from 1 to K". Online
+// FIFO dispatch keeps branches in lockstep, so at any moment most
+// branches sit in the same segment and the other K-1 pools starve;
+// offline policies stagger branches across segments to interleave
+// types, which is exactly the effect the paper measures.
+//
+// With random typing every task's type is uniform, so interleaving
+// happens by chance and scheduling choice matters little.
+func generateEP(c *Config, rng *rand.Rand) *dag.Graph {
+	b := dag.NewBuilder(c.K)
+	branches := intBetween(rng, c.EP.BranchesMin, c.EP.BranchesMax)
+	for br := 0; br < branches; br++ {
+		prev := dag.NoTask
+		link := func(t dag.Type) {
+			id := b.AddTask(t, c.work(rng))
+			if prev != dag.NoTask {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		if c.Typing == Layered {
+			for seg := 0; seg < c.K; seg++ {
+				segLen := intBetween(rng, c.EP.SegmentLenMin, c.EP.SegmentLenMax)
+				for i := 0; i < segLen; i++ {
+					link(dag.Type(seg))
+				}
+			}
+		} else {
+			length := intBetween(rng, c.EP.LengthMin, c.EP.LengthMax)
+			for i := 0; i < length; i++ {
+				link(c.randType(rng))
+			}
+		}
+	}
+	return b.MustBuild()
+}

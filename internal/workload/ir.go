@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fhs/internal/dag"
+)
+
+// generateIR builds an iterative-reduction job (Figure 3(c)): a
+// MapReduce-style pipeline of alternating map and reduce phases.
+// Within a round, each reduce task depends on a probabilistic subset
+// of the round's map tasks; a designated fraction of maps are
+// "high-fanout" and connect to reduces with boosted probability,
+// mirroring the paper's "tasks with a high fanout have a higher
+// probability of providing output to each reduce task". Every reduce
+// keeps at least one map parent and every next-round map keeps at
+// least one reduce parent, so rounds are genuine barriers-in-
+// expectation without being full bipartite joins.
+//
+// With layered typing each phase shares one type (phase index mod K);
+// with random typing types are uniform per task.
+func generateIR(c *Config, rng *rand.Rand) *dag.Graph {
+	b := dag.NewBuilder(c.K)
+	p := c.IR
+
+	phase := 0
+	typeFor := func() func() dag.Type {
+		if c.Typing == Layered {
+			t := dag.Type(phase % c.K)
+			return func() dag.Type { return t }
+		}
+		return func() dag.Type { return c.randType(rng) }
+	}
+
+	var prevReduces []dag.TaskID
+	for iter := 0; iter < p.Iterations; iter++ {
+		// Map phase.
+		nextType := typeFor()
+		nMaps := intBetween(rng, p.MapMin, p.MapMax)
+		maps := make([]dag.TaskID, nMaps)
+		highFanout := make([]bool, nMaps)
+		for i := range maps {
+			maps[i] = b.AddTask(nextType(), c.work(rng))
+			highFanout[i] = rng.Float64() < p.HighFanoutFrac
+			if len(prevReduces) > 0 {
+				connectAtLeastOne(b, rng, prevReduces, maps[i], p.ConnectProb)
+			}
+		}
+		phase++
+
+		// Reduce phase.
+		nextType = typeFor()
+		nReduces := intBetween(rng, p.ReduceMin, p.ReduceMax)
+		reduces := make([]dag.TaskID, nReduces)
+		boost := p.HighFanoutBoost
+		if boost < 1 {
+			boost = 1
+		}
+		reduceFactor := p.ReduceWorkFactor
+		if reduceFactor < 1 {
+			reduceFactor = 1
+		}
+		for i := range reduces {
+			reduces[i] = b.AddTask(nextType(), c.work(rng)*reduceFactor)
+			connected := false
+			for j, m := range maps {
+				prob := p.ConnectProb
+				if highFanout[j] {
+					prob = min(prob*boost, 0.95)
+				}
+				if rng.Float64() < prob {
+					b.AddEdge(m, reduces[i])
+					connected = true
+				}
+			}
+			if !connected {
+				b.AddEdge(maps[rng.Intn(len(maps))], reduces[i])
+			}
+		}
+		phase++
+		prevReduces = reduces
+	}
+	return b.MustBuild()
+}
+
+// connectAtLeastOne adds an edge from each member of parents to child
+// with the given probability, forcing one uniformly random edge if
+// none lands.
+func connectAtLeastOne(b *dag.Builder, rng *rand.Rand, parents []dag.TaskID, child dag.TaskID, prob float64) {
+	connected := false
+	for _, p := range parents {
+		if rng.Float64() < prob {
+			b.AddEdge(p, child)
+			connected = true
+		}
+	}
+	if !connected {
+		b.AddEdge(parents[rng.Intn(len(parents))], child)
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ResourceRange samples per-type pool sizes uniformly from
+// [MinPerType, MaxPerType], matching the paper's machine classes.
+type ResourceRange struct {
+	MinPerType, MaxPerType int
+}
+
+// SmallMachine is the paper's small system: 1-5 processors per type
+// (4-20 processors total at K = 4).
+var SmallMachine = ResourceRange{MinPerType: 1, MaxPerType: 5}
+
+// MediumMachine is the paper's medium system: 10-20 processors per
+// type (40-80 processors total at K = 4).
+var MediumMachine = ResourceRange{MinPerType: 10, MaxPerType: 20}
+
+// Validate reports malformed ranges.
+func (r ResourceRange) Validate() error {
+	if r.MinPerType <= 0 || r.MaxPerType < r.MinPerType {
+		return fmt.Errorf("workload: invalid resource range [%d, %d]", r.MinPerType, r.MaxPerType)
+	}
+	return nil
+}
+
+// Sample draws a K-length pool-size vector. One size is drawn and
+// shared by all types: the paper's base experiments keep the
+// work-per-processor ratio similar across types ("its load is
+// considered to be well balanced"), with imbalance introduced
+// explicitly by the skew experiments (SkewFirstType). Independent
+// per-type sampling would make one random type the bottleneck and
+// mask the scheduling differences the study measures.
+func (r ResourceRange) Sample(k int, rng *rand.Rand) []int {
+	procs := make([]int, k)
+	p := intBetween(rng, r.MinPerType, r.MaxPerType)
+	for a := range procs {
+		procs[a] = p
+	}
+	return procs
+}
+
+// SkewFirstType returns a copy of procs with the first type's pool
+// divided by factor (at least one processor survives). The paper's
+// skewed-load experiments (Section V-E) cut type 1's machines to 1/5
+// of the original while leaving the others unchanged.
+func SkewFirstType(procs []int, factor int) []int {
+	out := append([]int(nil), procs...)
+	if len(out) == 0 || factor <= 1 {
+		return out
+	}
+	out[0] = max(out[0]/factor, 1)
+	return out
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fhs/internal/dag"
+)
+
+// generateTree builds a divide-and-conquer job: starting from a root,
+// each node spawns Fanout children with probability FanoutProb
+// (Figure 3(b)). The first two levels always spawn, so a job is never
+// trivial. Generation is level-synchronous (breadth-first): growth
+// stops at MaxDepth or once MaxNodes tasks exist, a level never
+// exceeds MaxWidth tasks (0 = unlimited), and when Spine is set one
+// frontier node always spawns, so the exploration runs to full depth
+// with the frontier collapsing and re-expanding — the bursty shape
+// that stresses pipelining schedulers.
+//
+// With layered typing every level shares one type (level mod K); with
+// random typing types are uniform per task.
+func generateTree(c *Config, rng *rand.Rand) *dag.Graph {
+	b := dag.NewBuilder(c.K)
+	p := c.Tree
+
+	typeAt := func(depth int) dag.Type {
+		if c.Typing == Layered {
+			return dag.Type(depth % c.K)
+		}
+		return c.randType(rng)
+	}
+
+	level := []dag.TaskID{b.AddTask(typeAt(0), c.work(rng))}
+	for depth := 0; depth < p.MaxDepth && len(level) > 0 && b.NumTasks() < p.MaxNodes; depth++ {
+		var next []dag.TaskID
+		spawned := make([]bool, len(level))
+		for i := range level {
+			// The first two levels always branch so subcritical draws
+			// do not collapse into near-empty jobs.
+			spawned[i] = depth <= 1 || rng.Float64() < p.FanoutProb
+		}
+		if p.Spine {
+			any := false
+			for _, s := range spawned {
+				if s {
+					any = true
+					break
+				}
+			}
+			if !any {
+				spawned[rng.Intn(len(level))] = true
+			}
+		}
+		for i, id := range level {
+			if !spawned[i] {
+				continue
+			}
+			for j := 0; j < p.Fanout && b.NumTasks() < p.MaxNodes; j++ {
+				if p.MaxWidth > 0 && len(next) >= p.MaxWidth {
+					break
+				}
+				child := b.AddTask(typeAt(depth+1), c.work(rng))
+				b.AddEdge(id, child)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return b.MustBuild()
+}

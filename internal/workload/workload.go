@@ -1,0 +1,316 @@
+// Package workload generates the K-DAG job classes of the paper's
+// evaluation (Section V-B) — embarrassingly parallel (EP), tree, and
+// iterative-reduction (IR) jobs, each with layered or random task
+// typing — plus the adversarial instance from the Theorem 2 lower
+// bound and the machine (resource) samplers for small, medium and
+// skewed configurations.
+//
+// All generation is driven by an explicit *rand.Rand so experiments
+// are reproducible and trivially parallelizable.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhs/internal/dag"
+)
+
+// Class identifies a job family from Section V-B.
+type Class int
+
+const (
+	// EP is the embarrassingly parallel workload: independent chains
+	// ("branches") of tasks, as in Monte Carlo simulation.
+	EP Class = iota
+	// Tree is the divide-and-conquer workload: a fanout tree explored
+	// from a root task, as in search or speculative parallelism.
+	Tree
+	// IR is the iterative-reduction workload: repeated MapReduce-style
+	// map and reduce phases with cross-phase data dependencies.
+	IR
+)
+
+func (c Class) String() string {
+	switch c {
+	case EP:
+		return "EP"
+	case Tree:
+		return "Tree"
+	case IR:
+		return "IR"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Typing selects how task types are assigned within a job.
+type Typing int
+
+const (
+	// Layered typing follows the job's structure: EP branches cycle
+	// through types along the chain, tree levels share a type, IR
+	// phases share a type. Structured programs look like this, and it
+	// is where offline information pays off.
+	Layered Typing = iota
+	// Random typing draws every task's type uniformly at random.
+	Random
+)
+
+func (t Typing) String() string {
+	if t == Random {
+		return "Random"
+	}
+	return "Layered"
+}
+
+// EPParams sizes an EP job. Bounds are inclusive.
+//
+// With layered typing a branch is a sequence of K contiguous segments,
+// one per type in order 0..K-1 ("a fixed sequence of tasks with type
+// from 1 to K"); each segment has [SegmentLenMin, SegmentLenMax]
+// tasks, so a branch has K·segment tasks. With random typing a branch
+// is a chain of [LengthMin, LengthMax] uniformly typed tasks.
+type EPParams struct {
+	BranchesMin, BranchesMax     int // number of independent chains
+	LengthMin, LengthMax         int // tasks per chain (random typing)
+	SegmentLenMin, SegmentLenMax int // tasks per type segment (layered typing)
+}
+
+// TreeParams sizes a tree job. A node spawns Fanout children with
+// probability FanoutProb and none otherwise; the first two levels
+// always spawn so jobs are never trivial. Growth stops at MaxDepth or
+// MaxNodes, and a level never exceeds MaxWidth tasks (0 = unlimited):
+// supercritical growth then plateaus instead of concentrating all work
+// in the deepest levels, keeping per-type loads comparable under
+// layered typing.
+// Spine guarantees at least one node of every level spawns, so the
+// exploration always reaches MaxDepth; with near-critical FanoutProb
+// the frontier repeatedly collapses and re-expands, which is what
+// separates pipelining schedulers from naive ones.
+type TreeParams struct {
+	Fanout     int
+	FanoutProb float64
+	MaxDepth   int
+	MaxNodes   int
+	MaxWidth   int
+	Spine      bool
+}
+
+// IRParams sizes an iterative-reduction job. Each of Iterations rounds
+// has a map phase of [MapMin, MapMax] tasks and a reduce phase of
+// [ReduceMin, ReduceMax] tasks. A reduce task depends on each map task
+// of its round with probability ConnectProb, boosted by HighFanoutBoost
+// for the HighFanoutFrac fraction of maps designated high-fanout; every
+// reduce keeps at least one map parent. Maps of round i+1 depend on
+// each reduce of round i with probability ConnectProb (at least one).
+//
+// ReduceWorkFactor (default 1) multiplies reduce-task work: reduce
+// phases have fewer tasks than map phases, and under layered typing a
+// factor near MapMax/ReduceMax keeps the per-type loads comparable.
+type IRParams struct {
+	Iterations           int
+	MapMin, MapMax       int
+	ReduceMin, ReduceMax int
+	ConnectProb          float64
+	HighFanoutFrac       float64
+	HighFanoutBoost      float64
+	ReduceWorkFactor     int64
+}
+
+// Config fully describes a job distribution. Only the parameter block
+// matching Class is consulted.
+type Config struct {
+	Class  Class
+	Typing Typing
+	// K is the number of resource types tasks are drawn from.
+	K int
+	// WorkMin and WorkMax bound the per-task work, inclusive.
+	WorkMin, WorkMax int64
+
+	EP   EPParams
+	Tree TreeParams
+	IR   IRParams
+}
+
+// Validate reports configuration errors eagerly, before generation.
+func (c *Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("workload: K = %d, want > 0", c.K)
+	}
+	if c.WorkMin <= 0 || c.WorkMax < c.WorkMin {
+		return fmt.Errorf("workload: invalid work range [%d, %d]", c.WorkMin, c.WorkMax)
+	}
+	switch c.Class {
+	case EP:
+		p := c.EP
+		if p.BranchesMin <= 0 || p.BranchesMax < p.BranchesMin {
+			return fmt.Errorf("workload: invalid EP branch range [%d, %d]", p.BranchesMin, p.BranchesMax)
+		}
+		if c.Typing == Layered {
+			if p.SegmentLenMin <= 0 || p.SegmentLenMax < p.SegmentLenMin {
+				return fmt.Errorf("workload: invalid EP segment range [%d, %d]", p.SegmentLenMin, p.SegmentLenMax)
+			}
+		} else if p.LengthMin <= 0 || p.LengthMax < p.LengthMin {
+			return fmt.Errorf("workload: invalid EP length range [%d, %d]", p.LengthMin, p.LengthMax)
+		}
+	case Tree:
+		p := c.Tree
+		if p.Fanout <= 0 {
+			return fmt.Errorf("workload: tree fanout = %d, want > 0", p.Fanout)
+		}
+		if p.FanoutProb < 0 || p.FanoutProb > 1 {
+			return fmt.Errorf("workload: tree fanout probability %g outside [0,1]", p.FanoutProb)
+		}
+		if p.MaxDepth <= 0 || p.MaxNodes <= 0 {
+			return fmt.Errorf("workload: tree caps (depth %d, nodes %d) must be positive", p.MaxDepth, p.MaxNodes)
+		}
+	case IR:
+		p := c.IR
+		if p.Iterations <= 0 {
+			return fmt.Errorf("workload: IR iterations = %d, want > 0", p.Iterations)
+		}
+		if p.MapMin <= 0 || p.MapMax < p.MapMin {
+			return fmt.Errorf("workload: invalid IR map range [%d, %d]", p.MapMin, p.MapMax)
+		}
+		if p.ReduceMin <= 0 || p.ReduceMax < p.ReduceMin {
+			return fmt.Errorf("workload: invalid IR reduce range [%d, %d]", p.ReduceMin, p.ReduceMax)
+		}
+		if p.ConnectProb <= 0 || p.ConnectProb > 1 {
+			return fmt.Errorf("workload: IR connect probability %g outside (0,1]", p.ConnectProb)
+		}
+	default:
+		return fmt.Errorf("workload: unknown class %d", int(c.Class))
+	}
+	return nil
+}
+
+// Name returns a compact label like "Layered IR" used in reports.
+func (c *Config) Name() string {
+	return fmt.Sprintf("%s %s", c.Typing, c.Class)
+}
+
+// Generate draws one job from the distribution described by c.
+func Generate(c Config, rng *rand.Rand) (*dag.Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	switch c.Class {
+	case EP:
+		return generateEP(&c, rng), nil
+	case Tree:
+		return generateTree(&c, rng), nil
+	default:
+		return generateIR(&c, rng), nil
+	}
+}
+
+// MustGenerate is Generate for validated configs; it panics on error.
+func MustGenerate(c Config, rng *rand.Rand) *dag.Graph {
+	g, err := Generate(c, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// work draws one task's work uniformly from the configured range.
+func (c *Config) work(rng *rand.Rand) int64 {
+	return c.WorkMin + rng.Int63n(c.WorkMax-c.WorkMin+1)
+}
+
+// randType draws a uniform task type.
+func (c *Config) randType(rng *rand.Rand) dag.Type {
+	return dag.Type(rng.Intn(c.K))
+}
+
+// intBetween draws uniformly from [lo, hi].
+func intBetween(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// DefaultEP returns the EP distribution used throughout the
+// experiments: 30-60 branches with work 1-2; layered branches have K
+// segments of 4 tasks, random branches 12-24 tasks. Work variation
+// (not segment-length variation) is what desynchronizes branches, so
+// segments are fixed-length: variance there only blurs the contrast
+// between lockstep FIFO dispatch and descendant-aware staggering.
+func DefaultEP(k int, typing Typing) Config {
+	return Config{
+		Class:   EP,
+		Typing:  typing,
+		K:       k,
+		WorkMin: 1,
+		WorkMax: 2,
+		EP: EPParams{
+			BranchesMin: 30, BranchesMax: 60,
+			LengthMin: 12, LengthMax: 24,
+			SegmentLenMin: 4, SegmentLenMax: 4,
+		},
+	}
+}
+
+// DefaultTree returns the tree distribution used throughout the
+// experiments: a speculative-search-style exploration that always
+// reaches depth 96 (Spine) but only occasionally fans out (48 children
+// with probability 0.02), so the ready frontier repeatedly collapses
+// and re-expands; levels are capped at 120 tasks and jobs at 6000,
+// work 1-2. The bursty frontier is what separates schedulers that
+// pipeline levels from naive breadth-first dispatch.
+func DefaultTree(k int, typing Typing) Config {
+	return Config{
+		Class:   Tree,
+		Typing:  typing,
+		K:       k,
+		WorkMin: 1,
+		WorkMax: 2,
+		Tree: TreeParams{
+			Fanout: 48, FanoutProb: 0.02,
+			MaxDepth: 96, MaxNodes: 6000, MaxWidth: 120,
+			Spine: true,
+		},
+	}
+}
+
+// DefaultIR returns the iterative-reduction distribution used
+// throughout the experiments: K iterations (so every resource type
+// hosts map and reduce phases at any K) of 150-250 maps and 45-75
+// reduces per round, work 1-2. Connectivity is concentrated: a 15%
+// high-fanout map fraction connects to each reduce with probability
+// 0.8 (0.02 boosted 40x) while ordinary maps connect with probability
+// 0.02, and reduces are 3x heavier than maps (few reduces aggregate
+// many map outputs). Completing the high-fanout maps early unlocks
+// reduce phases long before a FIFO sweep does.
+func DefaultIR(k int, typing Typing) Config {
+	return Config{
+		Class:   IR,
+		Typing:  typing,
+		K:       k,
+		WorkMin: 1,
+		WorkMax: 2,
+		IR: IRParams{
+			Iterations: k,
+			MapMin:     150, MapMax: 250,
+			ReduceMin: 45, ReduceMax: 75,
+			ConnectProb:      0.02,
+			HighFanoutFrac:   0.15,
+			HighFanoutBoost:  40,
+			ReduceWorkFactor: 3,
+		},
+	}
+}
+
+// Default returns the default distribution for a class.
+func Default(class Class, k int, typing Typing) Config {
+	switch class {
+	case EP:
+		return DefaultEP(k, typing)
+	case Tree:
+		return DefaultTree(k, typing)
+	default:
+		return DefaultIR(k, typing)
+	}
+}

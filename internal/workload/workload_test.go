@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fhs/internal/dag"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestClassAndTypingStrings(t *testing.T) {
+	if EP.String() != "EP" || Tree.String() != "Tree" || IR.String() != "IR" {
+		t.Error("Class strings wrong")
+	}
+	if Layered.String() != "Layered" || Random.String() != "Random" {
+		t.Error("Typing strings wrong")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should still print")
+	}
+	cfg := DefaultEP(4, Layered)
+	if cfg.Name() != "Layered EP" {
+		t.Errorf("Name = %q", cfg.Name())
+	}
+}
+
+func TestDefaultsValidate(t *testing.T) {
+	for _, class := range []Class{EP, Tree, IR} {
+		for _, typing := range []Typing{Layered, Random} {
+			for k := 1; k <= 6; k++ {
+				cfg := Default(class, k, typing)
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("Default(%v,%d,%v): %v", class, k, typing, err)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},                             // zero K
+		{K: 2, WorkMin: 0, WorkMax: 1}, // zero work
+		{K: 2, WorkMin: 5, WorkMax: 1}, // inverted work
+		{K: 2, WorkMin: 1, WorkMax: 1}, // EP with zero branches
+		{Class: Class(42), K: 1, WorkMin: 1, WorkMax: 1}, // unknown class
+	}
+	tr := DefaultTree(2, Layered)
+	tr.Tree.FanoutProb = 1.5
+	bad = append(bad, tr)
+	ir := DefaultIR(2, Layered)
+	ir.IR.ConnectProb = 0
+	bad = append(bad, ir)
+	ep := DefaultEP(2, Layered)
+	ep.EP.SegmentLenMin = 0
+	bad = append(bad, ep)
+	epr := DefaultEP(2, Random)
+	epr.EP.LengthMin = 0
+	bad = append(bad, epr)
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, err := Generate(Config{}, rng(1)); err == nil {
+		t.Error("Generate accepted invalid config")
+	}
+}
+
+func TestLayeredEPStructure(t *testing.T) {
+	cfg := DefaultEP(4, Layered)
+	g := MustGenerate(cfg, rng(5))
+	// Every branch is a chain: each task has at most one parent and at
+	// most one child.
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		if len(g.Parents(id)) > 1 || len(g.Children(id)) > 1 {
+			t.Fatalf("task %d is not on a chain", i)
+		}
+	}
+	// Types are non-decreasing along each branch and cover 0..K-1.
+	for _, root := range g.Roots() {
+		prev := dag.Type(0)
+		seen := map[dag.Type]bool{}
+		for cur := root; ; {
+			tp := g.Task(cur).Type
+			if tp < prev {
+				t.Fatalf("branch type decreased: %d after %d", tp, prev)
+			}
+			prev = tp
+			seen[tp] = true
+			cs := g.Children(cur)
+			if len(cs) == 0 {
+				break
+			}
+			cur = cs[0]
+		}
+		if len(seen) != 4 {
+			t.Fatalf("branch covers %d types, want 4", len(seen))
+		}
+	}
+	// Branch count within bounds.
+	nRoots := len(g.Roots())
+	if nRoots < cfg.EP.BranchesMin || nRoots > cfg.EP.BranchesMax {
+		t.Errorf("branches = %d, want in [%d,%d]", nRoots, cfg.EP.BranchesMin, cfg.EP.BranchesMax)
+	}
+}
+
+func TestRandomEPLengths(t *testing.T) {
+	cfg := DefaultEP(3, Random)
+	g := MustGenerate(cfg, rng(6))
+	for _, root := range g.Roots() {
+		length := 0
+		for cur := root; ; {
+			length++
+			cs := g.Children(cur)
+			if len(cs) == 0 {
+				break
+			}
+			cur = cs[0]
+		}
+		if length < cfg.EP.LengthMin || length > cfg.EP.LengthMax {
+			t.Errorf("branch length %d outside [%d,%d]", length, cfg.EP.LengthMin, cfg.EP.LengthMax)
+		}
+	}
+}
+
+func TestLayeredTreeStructure(t *testing.T) {
+	cfg := DefaultTree(4, Layered)
+	g := MustGenerate(cfg, rng(7))
+	if len(g.Roots()) != 1 {
+		t.Fatalf("tree has %d roots", len(g.Roots()))
+	}
+	// Every non-root task has exactly one parent (it is a tree).
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		if id == g.Roots()[0] {
+			continue
+		}
+		if len(g.Parents(id)) != 1 {
+			t.Fatalf("task %d has %d parents", i, len(g.Parents(id)))
+		}
+	}
+	// Depth determines type: children's type = (parent type + 1) mod K.
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		want := dag.Type((int(g.Task(id).Type) + 1) % cfg.K)
+		for _, c := range g.Children(id) {
+			if g.Task(c).Type != want {
+				t.Fatalf("child %d has type %d, want %d", c, g.Task(c).Type, want)
+			}
+		}
+	}
+	// Spine: the exploration reaches MaxDepth levels (span in tasks).
+	depthTasks := 0
+	for cur := g.Roots()[0]; ; {
+		depthTasks++
+		cs := g.Children(cur)
+		if len(cs) == 0 {
+			break
+		}
+		cur = cs[0]
+	}
+	if g.NumTasks() >= cfg.Tree.MaxNodes {
+		t.Skip("node cap hit; depth not guaranteed")
+	}
+	// The critical path has MaxDepth+1 tasks when the spine survives.
+	if got := len(g.CriticalPath()); got != cfg.Tree.MaxDepth+1 {
+		t.Errorf("critical path length = %d, want %d", got, cfg.Tree.MaxDepth+1)
+	}
+}
+
+func TestTreeRespectsCaps(t *testing.T) {
+	cfg := DefaultTree(2, Layered)
+	cfg.Tree.MaxNodes = 50
+	for seed := int64(0); seed < 20; seed++ {
+		g := MustGenerate(cfg, rng(seed))
+		if g.NumTasks() > 50 {
+			t.Fatalf("seed %d: %d tasks > cap 50", seed, g.NumTasks())
+		}
+	}
+	cfg = DefaultTree(2, Layered)
+	cfg.Tree.MaxWidth = 7
+	g := MustGenerate(cfg, rng(3))
+	width := map[int64]int{} // span-depth buckets are awkward; count by BFS
+	level := []dag.TaskID{g.Roots()[0]}
+	for d := 0; len(level) > 0; d++ {
+		if len(level) > 7 {
+			t.Fatalf("level %d has width %d > 7", d, len(level))
+		}
+		var next []dag.TaskID
+		for _, id := range level {
+			next = append(next, g.Children(id)...)
+		}
+		level = next
+	}
+	_ = width
+}
+
+func TestLayeredIRStructure(t *testing.T) {
+	cfg := DefaultIR(4, Layered)
+	g := MustGenerate(cfg, rng(8))
+	// Phases alternate: roots are all maps of type 0.
+	for _, r := range g.Roots() {
+		if g.Task(r).Type != 0 {
+			t.Fatalf("root %d has type %d, want 0", r, g.Task(r).Type)
+		}
+	}
+	// Every task's children have the next phase's type.
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		tp := g.Task(id).Type
+		for _, c := range g.Children(id) {
+			want := dag.Type((int(tp) + 1) % cfg.K)
+			if g.Task(c).Type != want {
+				t.Fatalf("task %d (type %d) has child of type %d, want %d", i, tp, g.Task(c).Type, want)
+			}
+		}
+	}
+	// Every non-root task has at least one parent (connectAtLeastOne).
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		isRoot := false
+		for _, r := range g.Roots() {
+			if r == id {
+				isRoot = true
+				break
+			}
+		}
+		if !isRoot && len(g.Parents(id)) == 0 {
+			t.Fatalf("task %d is an unexpected root", i)
+		}
+	}
+}
+
+func TestIRReduceWorkFactor(t *testing.T) {
+	cfg := DefaultIR(2, Layered)
+	cfg.WorkMin, cfg.WorkMax = 1, 1
+	cfg.IR.ReduceWorkFactor = 5
+	g := MustGenerate(cfg, rng(9))
+	sawReduce := false
+	for i := 0; i < g.NumTasks(); i++ {
+		w := g.Task(dag.TaskID(i)).Work
+		if w != 1 && w != 5 {
+			t.Fatalf("task %d has work %d, want 1 or 5", i, w)
+		}
+		if w == 5 {
+			sawReduce = true
+		}
+	}
+	if !sawReduce {
+		t.Error("no reduce tasks found")
+	}
+}
+
+func TestPropertyGeneratorsProduceValidGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng(seed)
+		class := Class(r.Intn(3))
+		typing := Typing(r.Intn(2))
+		k := 1 + r.Intn(6)
+		g, err := Generate(Default(class, k, typing), r)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.NumTasks() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWorkWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng(seed)
+		cfg := DefaultEP(3, Random)
+		cfg.WorkMin, cfg.WorkMax = 2, 7
+		g, err := Generate(cfg, r)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			w := g.Task(dag.TaskID(i)).Work
+			if w < 2 || w > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerationDeterministicPerSeed(t *testing.T) {
+	for _, class := range []Class{EP, Tree, IR} {
+		cfg := Default(class, 4, Layered)
+		g1 := MustGenerate(cfg, rng(11))
+		g2 := MustGenerate(cfg, rng(11))
+		if g1.NumTasks() != g2.NumTasks() || g1.Span() != g2.Span() || g1.TotalWork() != g2.TotalWork() {
+			t.Errorf("%v: same seed produced different jobs", class)
+		}
+	}
+}
+
+func TestResourceRangeSample(t *testing.T) {
+	procs := MediumMachine.Sample(4, rng(1))
+	if len(procs) != 4 {
+		t.Fatalf("len = %d", len(procs))
+	}
+	for _, p := range procs {
+		if p < 10 || p > 20 {
+			t.Errorf("pool %d outside [10,20]", p)
+		}
+		if p != procs[0] {
+			t.Errorf("pools unequal: %v (base machines are balanced)", procs)
+		}
+	}
+	if err := MediumMachine.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (ResourceRange{MinPerType: 0, MaxPerType: 3}).Validate(); err == nil {
+		t.Error("accepted zero min")
+	}
+	if err := (ResourceRange{MinPerType: 5, MaxPerType: 3}).Validate(); err == nil {
+		t.Error("accepted inverted range")
+	}
+}
+
+func TestSkewFirstType(t *testing.T) {
+	in := []int{15, 15, 15, 15}
+	out := SkewFirstType(in, 5)
+	if out[0] != 3 || out[1] != 15 {
+		t.Errorf("skewed = %v, want [3 15 15 15]", out)
+	}
+	if in[0] != 15 {
+		t.Error("SkewFirstType mutated its input")
+	}
+	if got := SkewFirstType([]int{2}, 5); got[0] != 1 {
+		t.Errorf("small pool floor: %v, want [1]", got)
+	}
+	if got := SkewFirstType([]int{7, 7}, 1); got[0] != 7 {
+		t.Errorf("factor 1 must be identity, got %v", got)
+	}
+	if got := SkewFirstType(nil, 5); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+}

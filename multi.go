@@ -1,0 +1,49 @@
+package fhs
+
+import (
+	"math/rand"
+
+	"fhs/internal/multi"
+)
+
+// Multi-job scheduling — a stream of K-DAG jobs with release times
+// sharing one machine, the Cosmos-style setting that motivates the
+// paper.
+type (
+	// JobStream is an immutable, release-ordered collection of jobs.
+	JobStream = multi.Stream
+	// StreamJob is one job of a stream.
+	StreamJob = multi.JobSpec
+	// StreamConfig describes a synthetic stream distribution.
+	StreamConfig = multi.StreamConfig
+	// StreamPolicy schedules across all released jobs.
+	StreamPolicy = multi.Policy
+	// StreamResult reports makespan and per-job completions.
+	StreamResult = multi.Result
+)
+
+// NewJobStream validates and wraps a job list.
+func NewJobStream(jobs []StreamJob) (*JobStream, error) { return multi.NewStream(jobs) }
+
+// GenerateJobStream draws a stream: jobs from a workload distribution,
+// releases from an exponential inter-arrival process.
+func GenerateJobStream(cfg StreamConfig, rng *rand.Rand) (*JobStream, error) {
+	return multi.GenerateStream(cfg, rng)
+}
+
+// SimulateStream runs a stream on the machine under the policy.
+func SimulateStream(s *JobStream, p StreamPolicy, procs []int) (StreamResult, error) {
+	return multi.Run(s, p, procs)
+}
+
+// Stream policies.
+func NewGlobalGreedy() StreamPolicy { return multi.NewGlobalGreedy() }
+
+// NewFCFS returns the strict job-arrival-order policy.
+func NewFCFS() StreamPolicy { return multi.NewFCFS() }
+
+// NewSRPT returns the shortest-remaining-work-first policy.
+func NewSRPT() StreamPolicy { return multi.NewSRPT() }
+
+// NewBalancedMQB returns the cross-job utilization-balancing policy.
+func NewBalancedMQB() StreamPolicy { return multi.NewBalancedMQB() }

@@ -1,0 +1,86 @@
+package fhs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhs/internal/exp"
+	"fhs/internal/theory"
+	"fhs/internal/workload"
+)
+
+// Workload classes and typings, re-exported for building experiment
+// configurations against the public API.
+type (
+	// WorkloadClass selects a job family: EPWorkload, TreeWorkload or
+	// IRWorkload.
+	WorkloadClass = workload.Class
+	// WorkloadTyping selects layered or random task typing.
+	WorkloadTyping = workload.Typing
+	// AdversarialConfig describes a Theorem 2 lower-bound instance.
+	AdversarialConfig = workload.AdversarialConfig
+	// AdversarialJob is a generated lower-bound instance with its
+	// bookkeeping (active tasks, chain, offline optimum).
+	AdversarialJob = workload.AdversarialJob
+	// ExperimentOptions scales a figure preset (instances, seed, workers).
+	ExperimentOptions = exp.Options
+)
+
+// Workload class and typing values.
+const (
+	EPWorkload   = workload.EP
+	TreeWorkload = workload.Tree
+	IRWorkload   = workload.IR
+
+	LayeredTyping = workload.Layered
+	RandomTyping  = workload.Random
+)
+
+// Machine size presets from the paper's evaluation.
+var (
+	// SmallMachine samples 1-5 processors per type.
+	SmallMachine = workload.SmallMachine
+	// MediumMachine samples 10-20 processors per type.
+	MediumMachine = workload.MediumMachine
+)
+
+// DefaultWorkloadConfig returns the calibrated default distribution
+// for a workload class, as used by the figure presets.
+func DefaultWorkloadConfig(class WorkloadClass, k int, typing WorkloadTyping) WorkloadConfig {
+	return workload.Default(class, k, typing)
+}
+
+// NewAdversarialJob draws a Theorem 2 lower-bound instance: the job
+// family on which no online scheduler can beat ~(K+1)-competitiveness.
+func NewAdversarialJob(cfg AdversarialConfig, rng *rand.Rand) (*AdversarialJob, error) {
+	return workload.Adversarial(cfg, rng)
+}
+
+// SkewMachine divides the first type's pool by factor, as in the
+// paper's skewed-load experiments.
+func SkewMachine(procs []int, factor int) []int {
+	return workload.SkewFirstType(procs, factor)
+}
+
+// FigureSpecs returns the experiment panels reproducing one of the
+// paper's evaluation figures ("4" through "8").
+func FigureSpecs(figure string, o ExperimentOptions) ([]ExperimentSpec, error) {
+	builder, ok := exp.Figures()[figure]
+	if !ok {
+		return nil, fmt.Errorf("fhs: unknown figure %q (want 4, 5, 6, 7 or 8)", figure)
+	}
+	return builder(o), nil
+}
+
+// AdversarialOptimum returns the offline optimal completion time of
+// the Theorem 2 instance: K − 1 + M·PK.
+func AdversarialOptimum(procs []int, m int) (int64, error) {
+	return theory.AdversarialOptimum(procs, m)
+}
+
+// AdversarialExpectedOnline returns the Theorem 2 proof's lower bound
+// on any online algorithm's expected completion time on the
+// adversarial instance.
+func AdversarialExpectedOnline(procs []int, m int) (float64, error) {
+	return theory.AdversarialExpectedOnline(procs, m)
+}
