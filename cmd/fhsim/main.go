@@ -3,7 +3,7 @@
 // Usage:
 //
 //	fhsim [-figure 4|5|6|7|8|all] [-instances N] [-seed S] [-workers W]
-//	      [-csv FILE] [-svg DIR] [-match SUBSTR] [-quiet]
+//	      [-csv FILE] [-svg DIR] [-match SUBSTR] [-quiet] [-verify]
 //
 // Each figure expands to its experiment panels (see internal/exp);
 // fhsim runs them, prints aligned text tables, a one-line summary per
@@ -90,6 +90,7 @@ func main() {
 		match     = flag.String("match", "", "only run panels whose name contains this substring")
 		svgDir    = flag.String("svg", "", "also write one SVG chart per panel (and per sweep) to this directory")
 		quiet     = flag.Bool("quiet", false, "print only per-panel summaries")
+		paranoid  = flag.Bool("verify", false, "audit every simulated schedule with internal/verify (~1.5x slower)")
 	)
 	flag.Parse()
 
@@ -107,7 +108,7 @@ func main() {
 		names = []string{*figure}
 	}
 
-	opts := exp.Options{Instances: *instances, Seed: *seed, Workers: *workers}
+	opts := exp.Options{Instances: *instances, Seed: *seed, Workers: *workers, Paranoid: *paranoid}
 	var all []exp.Table
 	for _, name := range names {
 		specs := figs[name](opts)

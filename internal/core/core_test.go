@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"fhs/internal/dag"
+	"fhs/internal/metrics"
 	"fhs/internal/sim"
 )
 
@@ -218,8 +219,8 @@ func TestLexLess(t *testing.T) {
 		{[]float64{2, 0}, []float64{1, 9}, false},
 	}
 	for _, c := range cases {
-		if got := lexLess(c.a, c.b); got != c.want {
-			t.Errorf("lexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		if got := metrics.LexLess(c.a, c.b); got != c.want {
+			t.Errorf("LexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
 }

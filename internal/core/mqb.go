@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"fhs/internal/dag"
+	"fhs/internal/metrics"
 	"fhs/internal/sim"
 )
 
@@ -209,7 +210,7 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 		switch m.opts.Balance {
 		case BalanceLex:
 			sortFloats(m.cand)
-			if best == dag.NoTask || lexLess(m.best, m.cand) {
+			if best == dag.NoTask || metrics.LexLess(m.best, m.cand) {
 				best = id
 				m.best, m.cand = m.cand, m.best
 			}
@@ -234,17 +235,4 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 		}
 	}
 	return best, true
-}
-
-// lexLess reports whether sorted balance vector a is strictly worse
-// than b in the paper's lexicographic order on ascending
-// x-utilizations: the first differing position decides, and a larger
-// value there means better balance.
-func lexLess(a, b []float64) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -109,6 +110,50 @@ func TestRunDeterministicForRandomizedSchedulers(t *testing.T) {
 		if a.Rows[i].Mean != b.Rows[i].Mean {
 			t.Errorf("randomized scheduler results depend on workers: %+v vs %+v", a.Rows[i], b.Rows[i])
 		}
+	}
+}
+
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The seed-determinism contract is stronger than matching means:
+	// the whole Table — every row, every aggregate, including the
+	// randomized information models — must be bit-identical whether
+	// instances run serially or across all cores.
+	spec := tinySpec("det", 1)
+	spec.Schedulers = []string{"KGreedy", "MQB", "MQB+All+Noise", "MQB+1Step+Exp"}
+	serial, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 0 // GOMAXPROCS
+	parallel, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("tables differ across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestParanoidSpecAuditsCleanly(t *testing.T) {
+	// A paranoid run audits every schedule inline; the registry
+	// schedulers must come through clean, and the aggregates must match
+	// a non-paranoid run bit for bit (the audit observes, it does not
+	// steer).
+	plain := tinySpec("plain", 2)
+	paranoid := plain
+	paranoid.Name = "paranoid"
+	paranoid.Paranoid = true
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(paranoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name, b.Name = "", ""
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("paranoid run changed results:\nplain:    %+v\nparanoid: %+v", a, b)
 	}
 }
 

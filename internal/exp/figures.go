@@ -18,6 +18,8 @@ type Options struct {
 	Instances int
 	Seed      int64
 	Workers   int
+	// Paranoid audits every simulated schedule (see Spec.Paranoid).
+	Paranoid bool
 }
 
 func (o Options) fillDefaults() Options {
@@ -40,6 +42,7 @@ func panel(name string, wl workload.Config, machine workload.ResourceRange, o Op
 		Instances:  o.Instances,
 		Seed:       o.Seed,
 		Workers:    o.Workers,
+		Paranoid:   o.Paranoid,
 	}
 }
 

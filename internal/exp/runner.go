@@ -22,6 +22,7 @@ import (
 	"fhs/internal/core"
 	"fhs/internal/metrics"
 	"fhs/internal/sim"
+	_ "fhs/internal/verify" // registers the Paranoid-mode auditor
 	"fhs/internal/workload"
 )
 
@@ -55,6 +56,11 @@ type Spec struct {
 
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+
+	// Paranoid audits every simulated schedule with internal/verify
+	// (sim.Config.Paranoid): any invariant violation aborts the
+	// experiment instead of contaminating the figures.
+	Paranoid bool
 }
 
 // Validate reports malformed specs before any work is spent.
@@ -138,7 +144,14 @@ func Run(spec Spec) (Table, error) {
 		errOnce  sync.Once
 		firstErr error
 	)
-	jobs := make(chan int)
+	// The channel holds every index up front: a worker that exits on
+	// error must not leave the producer blocked on an unbuffered send
+	// (all workers failing used to deadlock Run).
+	jobs := make(chan int, spec.Instances)
+	for i := 0; i < spec.Instances; i++ {
+		jobs <- i
+	}
+	close(jobs)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -151,10 +164,6 @@ func Run(spec Spec) (Table, error) {
 			}
 		}()
 	}
-	for i := 0; i < spec.Instances; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return Table{}, firstErr
@@ -216,7 +225,7 @@ func runInstance(spec *Spec, i int, out []float64) error {
 	if err != nil {
 		return fmt.Errorf("exp: %s instance %d: %w", spec.Name, i, err)
 	}
-	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive}
+	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive, Paranoid: spec.Paranoid}
 	for s, name := range spec.Schedulers {
 		// Schedulers are built fresh per instance with a seed derived
 		// from the instance seed and the scheduler index, so randomized

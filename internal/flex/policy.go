@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"fhs/internal/dag"
+	"fhs/internal/metrics"
 )
 
 // Greedy is the KGreedy analogue for flexible jobs: a freed processor
@@ -150,22 +151,11 @@ func (b *Balance) Pick(st *State, alpha dag.Type) (dag.TaskID, bool) {
 			b.cand[a] = work / float64(st.Procs(dag.Type(a)))
 		}
 		sort.Float64s(b.cand)
-		if best == dag.NoTask || (native && !bestNative) || (native == bestNative && lexLess(b.best, b.cand)) {
+		if best == dag.NoTask || (native && !bestNative) || (native == bestNative && metrics.LexLess(b.best, b.cand)) {
 			best = id
 			bestNative = native
 			b.best, b.cand = b.cand, b.best
 		}
 	}
 	return best, best != dag.NoTask
-}
-
-// lexLess mirrors core's comparison: a is worse than b if the first
-// differing entry of the ascending-sorted vectors is smaller.
-func lexLess(a, b []float64) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }

@@ -1,13 +1,15 @@
 // Package metrics provides the evaluation quantities of Section V:
 // the completion-time lower bound L(J), the completion-time ratio the
 // figures plot, the work-per-processor skew measure of Section V-E,
-// and streaming summary statistics for aggregating ratios over many
-// job instances.
+// streaming summary statistics for aggregating ratios over many job
+// instances, and the sorted x-utilization balance vectors of
+// Section IV-A that MQB's lexicographic comparison rule is built on.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"fhs/internal/dag"
 )
@@ -75,6 +77,47 @@ func SkewCoefficient(g *dag.Graph, procs []int) (float64, error) {
 		return 0, nil
 	}
 	return s.StdDev() / s.Mean(), nil
+}
+
+// XUtilsInPlace converts per-type loads to x-utilizations rα = load[α]/Pα
+// in place. It is the building block of MQB's balance comparison and of
+// the sorted balance vectors below; procs must have the same length as
+// load with positive entries (callers validate machine configs before
+// the hot path, so this function does not).
+func XUtilsInPlace(load []float64, procs []int) {
+	for a := range load {
+		load[a] /= float64(procs[a])
+	}
+}
+
+// SortedXUtils returns the balance vector of Section IV-A: the
+// x-utilizations rα = load[α]/Pα sorted ascending. The vector is
+// insensitive to permutations of the (load, procs) pairs — only the
+// multiset of ratios matters — which is what makes LexLess a total
+// preorder on machine states rather than on type labelings.
+func SortedXUtils(load []float64, procs []int) []float64 {
+	r := make([]float64, len(load))
+	copy(r, load)
+	XUtilsInPlace(r, procs)
+	sort.Float64s(r)
+	return r
+}
+
+// LexLess reports whether sorted balance vector a is strictly worse
+// than b in the paper's lexicographic order on ascending
+// x-utilizations: the first differing position decides, and a larger
+// value there means better balance (raising the smallest queue
+// dominates; ties cascade to the next-smallest). Both vectors must be
+// sorted ascending and of equal length. LexLess is a strict weak
+// order: irreflexive and antisymmetric (never both LexLess(a, b) and
+// LexLess(b, a)).
+func LexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // Summary accumulates streaming statistics over float64 observations

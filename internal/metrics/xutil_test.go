@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// xutilInput is a generated (load, procs) machine state for the
+// property tests. Loads are small non-negative integers and pools are
+// in [1, 6], mirroring the ranges the simulator produces; both are
+// sized by the shorter of the two generated slices so every input is
+// well formed.
+type xutilInput struct {
+	Loads []uint16
+	Pools []uint8
+}
+
+func (in xutilInput) state() (load []float64, procs []int) {
+	n := len(in.Loads)
+	if len(in.Pools) < n {
+		n = len(in.Pools)
+	}
+	load = make([]float64, n)
+	procs = make([]int, n)
+	for i := 0; i < n; i++ {
+		load[i] = float64(in.Loads[i] % 1000)
+		procs[i] = int(in.Pools[i]%6) + 1
+	}
+	return load, procs
+}
+
+// TestSortedXUtilsPermutationInvariance: permuting the (load, procs)
+// pairs — relabeling the resource types — never changes the sorted
+// balance vector. This is the property that lets MQB compare machine
+// states without caring which type holds which queue.
+func TestSortedXUtilsPermutationInvariance(t *testing.T) {
+	f := func(in xutilInput, seed int64) bool {
+		load, procs := in.state()
+		want := SortedXUtils(load, procs)
+
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(load))
+		pl := make([]float64, len(load))
+		pp := make([]int, len(procs))
+		for i, j := range perm {
+			pl[i] = load[j]
+			pp[i] = procs[j]
+		}
+		got := SortedXUtils(pl, pp)
+
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortedXUtilsSortedAndConsistent: the result is ascending and is
+// exactly the multiset {load[α]/Pα}; XUtilsInPlace agrees with it.
+func TestSortedXUtilsSortedAndConsistent(t *testing.T) {
+	f := func(in xutilInput) bool {
+		load, procs := in.state()
+		got := SortedXUtils(load, procs)
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		ratios := append([]float64(nil), load...)
+		XUtilsInPlace(ratios, procs)
+		sort.Float64s(ratios)
+		for i := range got {
+			if got[i] != ratios[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexLessStrictWeakOrder: on sorted vectors of equal length,
+// LexLess is irreflexive and antisymmetric, and exactly one of
+// "a worse", "b worse", "equal" holds (trichotomy).
+func TestLexLessStrictWeakOrder(t *testing.T) {
+	f := func(in1, in2 xutilInput) bool {
+		a, pa := in1.state()
+		b, pb := in2.state()
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a = SortedXUtils(a[:n], pa[:n])
+		b = SortedXUtils(b[:n], pb[:n])
+
+		if LexLess(a, a) || LexLess(b, b) {
+			return false // irreflexive
+		}
+		ab, ba := LexLess(a, b), LexLess(b, a)
+		if ab && ba {
+			return false // antisymmetric
+		}
+		equal := true
+		for i := range a {
+			if a[i] != b[i] {
+				equal = false
+				break
+			}
+		}
+		// Trichotomy: equal vectors compare false both ways; distinct
+		// vectors compare true in exactly one direction.
+		if equal {
+			return !ab && !ba
+		}
+		return ab != ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

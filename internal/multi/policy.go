@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"fhs/internal/dag"
+	"fhs/internal/metrics"
 )
 
 // GlobalGreedy is KGreedy across jobs: a freed processor takes the
@@ -149,20 +150,10 @@ func (b *BalancedMQB) Pick(st *State, alpha dag.Type) (TaskRef, bool) {
 			b.cand[a] = work / float64(st.Procs(dag.Type(a)))
 		}
 		sort.Float64s(b.cand)
-		if best.Job < 0 || lexLess(b.best, b.cand) {
+		if best.Job < 0 || metrics.LexLess(b.best, b.cand) {
 			best = ref
 			b.best, b.cand = b.cand, b.best
 		}
 	}
 	return best, true
-}
-
-// lexLess mirrors core's comparison on ascending-sorted vectors.
-func lexLess(a, b []float64) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }

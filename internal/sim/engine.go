@@ -16,13 +16,35 @@ func Run(g *dag.Graph, s Scheduler, cfg Config) (Result, error) {
 	if err := cfg.Validate(g.K()); err != nil {
 		return Result{}, err
 	}
+	wantTrace := cfg.CollectTrace
+	if cfg.Paranoid {
+		if auditor == nil {
+			return Result{}, fmt.Errorf("sim: Config.Paranoid set but no auditor is registered (import fhs/internal/verify)")
+		}
+		cfg.CollectTrace = true
+	}
 	if err := s.Prepare(g, cfg); err != nil {
 		return Result{}, fmt.Errorf("sim: scheduler %s prepare: %w", s.Name(), err)
 	}
+	var (
+		res Result
+		err error
+	)
 	if cfg.Preemptive {
-		return runPreemptive(g, s, &cfg)
+		res, err = runPreemptive(g, s, &cfg)
+	} else {
+		res, err = runNonPreemptive(g, s, &cfg)
 	}
-	return runNonPreemptive(g, s, &cfg)
+	if err != nil || !cfg.Paranoid {
+		return res, err
+	}
+	if aerr := auditor(g, cfg, s, &res); aerr != nil {
+		return res, fmt.Errorf("sim: paranoid audit of scheduler %s: %w", s.Name(), aerr)
+	}
+	if !wantTrace {
+		res.Trace = nil
+	}
+	return res, nil
 }
 
 // runningTask is a heap entry for the non-preemptive engine.
@@ -92,7 +114,8 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		// every task finishing at that instant.
 		t := running[0].finish
 		if cfg.MaxTime > 0 && t > cfg.MaxTime {
-			return res, fmt.Errorf("sim: exceeded MaxTime=%d under scheduler %s", cfg.MaxTime, s.Name())
+			return res, fmt.Errorf("sim: clock %d exceeds MaxTime=%d under scheduler %s (%d/%d tasks complete)",
+				t, cfg.MaxTime, s.Name(), st.nCompleted, n)
 		}
 		st.now = t
 		for running.Len() > 0 && running[0].finish == t {
@@ -123,7 +146,8 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 	assigned := make([]dag.TaskID, 0, 64)
 	for st.nCompleted < n {
 		if cfg.MaxTime > 0 && st.now > cfg.MaxTime {
-			return res, fmt.Errorf("sim: exceeded MaxTime=%d under scheduler %s", cfg.MaxTime, s.Name())
+			return res, fmt.Errorf("sim: clock %d exceeds MaxTime=%d under scheduler %s (%d/%d tasks complete)",
+				st.now, cfg.MaxTime, s.Name(), st.nCompleted, n)
 		}
 		// Every processor is reassignable at a quantum boundary: all
 		// unfinished tasks are in the ready queues at this point.

@@ -44,6 +44,17 @@ type Config struct {
 	// it; 0 means no limit. It exists to turn scheduler bugs (starvation)
 	// into errors instead of hangs.
 	MaxTime int64
+
+	// Paranoid audits every finished schedule against the independent
+	// invariant checker in internal/verify: typed capacity, precedence,
+	// work conservation, run-to-completion, and makespan bounds (plus
+	// non-idling and the competitive bound for KGreedy). Tracing is
+	// forced internally for the audit and stripped again unless
+	// CollectTrace is also set. The auditor registers itself when
+	// fhs/internal/verify is linked in; Run fails if Paranoid is set
+	// with no auditor registered. When off, the only cost is one branch
+	// per Run.
+	Paranoid bool
 }
 
 // K returns the number of resource types the config provisions.
@@ -82,6 +93,28 @@ type Scheduler interface {
 	// ok=false to leave the remaining processors of that pool idle this
 	// round. The returned task must be in st.Ready(alpha).
 	Pick(st *State, alpha dag.Type) (id dag.TaskID, ok bool)
+}
+
+// Auditor independently validates a finished simulation: it receives
+// the job, the effective config (with CollectTrace set), the scheduler
+// that produced the schedule, and the result, and returns an error on
+// the first violated invariant. The canonical implementation lives in
+// fhs/internal/verify; sim only holds the hook so the two packages
+// need no import cycle.
+type Auditor func(g *dag.Graph, cfg Config, s Scheduler, res *Result) error
+
+// auditor is written once, from internal/verify's init, before any
+// simulation can run; Run only reads it.
+var auditor Auditor
+
+// RegisterAuditor installs the Paranoid-mode auditor. It is intended
+// to be called exactly once, from an init function; registering twice
+// panics so silently shadowed auditors cannot happen.
+func RegisterAuditor(a Auditor) {
+	if auditor != nil {
+		panic("sim: auditor already registered")
+	}
+	auditor = a
 }
 
 // EventKind classifies trace events.

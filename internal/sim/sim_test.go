@@ -44,6 +44,32 @@ func (refuser) Pick(*State, dag.Type) (dag.TaskID, bool) {
 	return dag.NoTask, false
 }
 
+// serial is a deliberately-idling scheduler: it refuses to run more
+// than one task at a time machine-wide, starving every other
+// processor. It exists to prove MaxTime turns such policies into
+// errors instead of hangs or silent crawl.
+type serial struct {
+	last   dag.TaskID
+	active bool
+}
+
+func (*serial) Name() string { return "serial" }
+func (s *serial) Prepare(*dag.Graph, Config) error {
+	s.active = false
+	return nil
+}
+func (s *serial) Pick(st *State, a dag.Type) (dag.TaskID, bool) {
+	if s.active && st.Remaining(s.last) > 0 {
+		return dag.NoTask, false
+	}
+	q := st.Ready(a)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	s.last, s.active = q[0], true
+	return q[0], true
+}
+
 // rogue picks a task that is not ready (the completed root), to
 // exercise contract enforcement.
 type rogue struct{ fired bool }
@@ -204,6 +230,46 @@ func TestMaxTimeAborts(t *testing.T) {
 	_, err = Run(g, fifo{}, Config{Procs: []int{1}, MaxTime: 10, Preemptive: true})
 	if err == nil || !strings.Contains(err.Error(), "MaxTime") {
 		t.Errorf("preemptive: want MaxTime error, got %v", err)
+	}
+}
+
+func TestStarvingSchedulerTripsMaxTimeWithClock(t *testing.T) {
+	// 20 independent unit tasks on 4 processors finish at t=5 under any
+	// work-conserving policy, but the serial idler needs t=20. With
+	// MaxTime=5 both engines must abort — naming the offending clock
+	// value — rather than crawl or hang.
+	b := dag.NewBuilder(1)
+	for i := 0; i < 20; i++ {
+		b.AddTask(0, 1)
+	}
+	g := b.MustBuild()
+	for _, preemptive := range []bool{false, true} {
+		_, err := Run(g, &serial{}, Config{Procs: []int{4}, MaxTime: 5, Preemptive: preemptive})
+		if err == nil {
+			t.Fatalf("preemptive=%v: starving scheduler finished under MaxTime", preemptive)
+		}
+		if !strings.Contains(err.Error(), "MaxTime=5") {
+			t.Errorf("preemptive=%v: error does not name the limit: %v", preemptive, err)
+		}
+		if !strings.Contains(err.Error(), "clock 6") {
+			t.Errorf("preemptive=%v: error does not include the clock value: %v", preemptive, err)
+		}
+	}
+	// Sanity: the same machine under a greedy policy finishes in time.
+	res, err := Run(g, fifo{}, Config{Procs: []int{4}, MaxTime: 5})
+	if err != nil || res.CompletionTime != 5 {
+		t.Errorf("fifo baseline: completion %d, err %v; want 5, nil", res.CompletionTime, err)
+	}
+}
+
+func TestParanoidRequiresAuditor(t *testing.T) {
+	// The sim test binary does not link internal/verify, so no auditor
+	// is registered and Paranoid must fail loudly instead of skipping
+	// the audit.
+	g := mustChain(t, 1, []int64{1}, []dag.Type{0})
+	_, err := Run(g, fifo{}, Config{Procs: []int{1}, Paranoid: true})
+	if err == nil || !strings.Contains(err.Error(), "no auditor") {
+		t.Errorf("want missing-auditor error, got %v", err)
 	}
 }
 

@@ -1,0 +1,30 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+// benchmarkRun measures a full simulation of a realistic EP job so the
+// two timings quantify what Config.Paranoid costs end to end. With the
+// flag off the engine pays one branch; with it on, the engine collects
+// a trace and replays it through the auditor.
+func benchmarkRun(b *testing.B, paranoid bool) {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.MustGenerate(workload.DefaultEP(3, workload.Layered), rng)
+	cfg := sim.Config{Procs: []int{4, 4, 4}, Paranoid: paranoid}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(g, core.MustNew("KGreedy", core.Params{}), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunParanoidOff(b *testing.B) { benchmarkRun(b, false) }
+func BenchmarkRunParanoidOn(b *testing.B)  { benchmarkRun(b, true) }

@@ -1,0 +1,123 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+)
+
+// randomSmallUnitGraph draws a connected-ish random unit-work K-DAG
+// small enough for the exhaustive optimum: n in [1, 9] tasks, K in
+// [1, 3], each forward pair (i, j) wired with probability 0.3.
+func randomSmallUnitGraph(rng *rand.Rand) *dag.Graph {
+	k := rng.Intn(3) + 1
+	n := rng.Intn(9) + 1
+	b := dag.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		b.AddTask(dag.Type(rng.Intn(k)), 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				b.AddEdge(dag.TaskID(i), dag.TaskID(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomProcs(rng *rand.Rand, k int) []int {
+	procs := make([]int, k)
+	for a := range procs {
+		procs[a] = rng.Intn(3) + 1
+	}
+	return procs
+}
+
+// TestDifferentialSmallInstances is the differential harness of the
+// verification subsystem: on each randomized small unit-work instance
+// it (a) cross-checks the event-driven non-preemptive engine against
+// the quantum-stepped preemptive engine with the order-insensitive
+// RefGreedy policy — the class where the engines must agree exactly —
+// (b) runs every registered scheduler through both engines and audits
+// every schedule, and (c) validates all measured completion times
+// against internal/opt's exhaustive optimum. The instance stream is
+// deterministic, and the test insists at least 200 instances clear the
+// optimum check.
+func TestDifferentialSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const instances = 230
+	optChecked := 0
+	refOpts := verify.Options{NonIdling: true, GreedyBound: true}
+	for i := 0; i < instances; i++ {
+		g := randomSmallUnitGraph(rng)
+		procs := randomProcs(rng, g.K())
+		seed := int64(i)*1_000_003 + 17
+
+		completions := make(map[string]int64, 2*len(allSchedulers())+1)
+		ref, err := verify.CrossCheckEngines(g, procs,
+			func() sim.Scheduler { return verify.NewRefGreedy() }, refOpts)
+		if err != nil {
+			t.Fatalf("instance %d (%d tasks, K=%d, procs %v) RefGreedy: %v",
+				i, g.NumTasks(), g.K(), procs, err)
+		}
+		completions["RefGreedy"] = ref.CompletionTime
+		for _, name := range allSchedulers() {
+			name := name
+			factory := func() sim.Scheduler { return core.MustNew(name, core.Params{Seed: seed}) }
+			np, p, err := verify.AuditBothEngines(g, procs, factory, verify.ForScheduler(name))
+			if err != nil {
+				t.Fatalf("instance %d (%d tasks, K=%d, procs %v) scheduler %s: %v",
+					i, g.NumTasks(), g.K(), procs, name, err)
+			}
+			completions[name] = np.CompletionTime
+			completions[name+"+preempt"] = p.CompletionTime
+		}
+
+		optT, err := verify.CheckOptimum(g, procs, completions)
+		if err != nil {
+			t.Fatalf("instance %d (%d tasks, K=%d, procs %v): %v", i, g.NumTasks(), g.K(), procs, err)
+		}
+		if optT < 1 && g.NumTasks() > 0 {
+			t.Fatalf("instance %d: optimum %d for a non-empty job", i, optT)
+		}
+		optChecked++
+	}
+	if optChecked < 200 {
+		t.Fatalf("only %d instances cleared the optimum check, want >= 200", optChecked)
+	}
+}
+
+// TestCrossCheckRejectsNonUnitWork: the engine-agreement oracle is
+// only sound for unit work, so it must refuse anything else.
+func TestCrossCheckRejectsNonUnitWork(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 2)
+	g := b.MustBuild()
+	factory := func() sim.Scheduler { return core.MustNew("KGreedy", core.Params{}) }
+	if _, err := verify.CrossCheckEngines(g, []int{1}, factory, verify.Options{}); err == nil {
+		t.Fatal("cross-check accepted a non-unit-work job")
+	}
+}
+
+// TestCheckOptimumFlagsImpossibleResult: a claimed completion time
+// below the exhaustive optimum must be rejected.
+func TestCheckOptimumFlagsImpossibleResult(t *testing.T) {
+	// A 3-task chain on one processor: optimum 3.
+	b := dag.NewBuilder(1)
+	x := b.AddTask(0, 1)
+	y := b.AddTask(0, 1)
+	z := b.AddTask(0, 1)
+	b.AddChain(x, y, z)
+	g := b.MustBuild()
+	if _, err := verify.CheckOptimum(g, []int{1}, map[string]int64{"bogus": 2}); err == nil {
+		t.Fatal("optimum check accepted an impossible completion time")
+	}
+	if optT, err := verify.CheckOptimum(g, []int{1}, map[string]int64{"honest": 3}); err != nil || optT != 3 {
+		t.Fatalf("optimum check rejected a valid completion time: opt=%d err=%v", optT, err)
+	}
+}

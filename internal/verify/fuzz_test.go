@@ -1,0 +1,144 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+)
+
+// fuzzInstance decodes a byte string into a small K-DAG plus machine
+// config. Bytes are consumed cyclically so every input decodes to a
+// valid instance: byte 0 picks K in [1,3], byte 1 picks n in [1,maxN],
+// then one byte per task for its type (and one more for its work when
+// unitWork is false, drawn from [1,4]), one byte per processor pool in
+// [1,3], and the remaining bytes in pairs as forward-only edges —
+// which keeps the graph acyclic by construction.
+func fuzzInstance(data []byte, maxN int, unitWork bool) (*dag.Graph, []int) {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	cursor := 0
+	next := func() int {
+		b := data[cursor%len(data)]
+		cursor++
+		return int(b)
+	}
+	k := next()%3 + 1
+	n := next()%maxN + 1
+	b := dag.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		work := int64(1)
+		alpha := dag.Type(next() % k)
+		if !unitWork {
+			work = int64(next()%4 + 1)
+		}
+		b.AddTask(alpha, work)
+	}
+	procs := make([]int, k)
+	for a := range procs {
+		procs[a] = next()%3 + 1
+	}
+	// Use each remaining input byte once as edge material, then stop:
+	// cycling forever would loop.
+	for e := 0; e < len(data); e++ {
+		from, to := next()%n, next()%n
+		if from < to {
+			b.AddEdge(dag.TaskID(from), dag.TaskID(to))
+		}
+	}
+	return b.MustBuild(), procs
+}
+
+// fuzzSeeds feeds a few structurally interesting byte strings into a
+// fuzz target's corpus.
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{2, 8, 1, 0, 2, 1, 0, 2, 1, 3, 2, 1, 0, 3, 1, 4, 2, 5})
+	f.Add([]byte{1, 5, 0, 0, 0, 0, 0, 2, 0, 1, 1, 2, 2, 3, 3, 4})
+	f.Add([]byte{2, 6, 0, 1, 0, 1, 0, 1, 1, 1, 0, 5, 1, 4, 2, 3})
+}
+
+// FuzzAuditNonPreemptive drives every registered scheduler through the
+// event-driven engine on a fuzzed weighted K-DAG and audits the trace.
+// Any invariant violation the auditor can express — capacity,
+// precedence, conservation, run-to-completion, non-idling for greedy
+// policies, makespan bounds — is a crash.
+func FuzzAuditNonPreemptive(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, procs := fuzzInstance(data, 10, false)
+		for _, name := range allSchedulers() {
+			cfg := sim.Config{Procs: procs, CollectTrace: true}
+			res, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 1}), cfg)
+			if err != nil {
+				t.Fatalf("scheduler %s: %v", name, err)
+			}
+			if err := verify.Audit(g, cfg, &res, verify.ForScheduler(name)); err != nil {
+				t.Fatalf("scheduler %s: %v", name, err)
+			}
+		}
+	})
+}
+
+// FuzzAuditPreemptive is FuzzAuditNonPreemptive for the
+// quantum-stepped engine, with the quantum itself fuzzed.
+func FuzzAuditPreemptive(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, procs := fuzzInstance(data, 10, false)
+		quantum := int64(1)
+		if len(data) > 0 {
+			quantum = int64(data[len(data)-1]%3) + 1
+		}
+		for _, name := range allSchedulers() {
+			cfg := sim.Config{Procs: procs, Preemptive: true, Quantum: quantum, CollectTrace: true}
+			res, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 1}), cfg)
+			if err != nil {
+				t.Fatalf("scheduler %s (quantum %d): %v", name, quantum, err)
+			}
+			if err := verify.Audit(g, cfg, &res, verify.ForScheduler(name)); err != nil {
+				t.Fatalf("scheduler %s (quantum %d): %v", name, quantum, err)
+			}
+		}
+	})
+}
+
+// FuzzDifferentialUnitWork fuzzes the full differential harness: the
+// engine-agreement oracle on RefGreedy, both-engine audits of every
+// registered scheduler, and the exhaustive-optimum checks on the
+// collected completion times. Instances stay at most 9 tasks so the
+// optimum search never exhausts its budget.
+func FuzzDifferentialUnitWork(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, procs := fuzzInstance(data, 9, true)
+		refOpts := verify.Options{NonIdling: true, GreedyBound: true}
+		ref, err := verify.CrossCheckEngines(g, procs,
+			func() sim.Scheduler { return verify.NewRefGreedy() }, refOpts)
+		if err != nil {
+			t.Fatalf("RefGreedy: %v", err)
+		}
+		completions := map[string]int64{"RefGreedy": ref.CompletionTime}
+		for _, name := range allSchedulers() {
+			name := name
+			factory := func() sim.Scheduler { return core.MustNew(name, core.Params{Seed: 7}) }
+			np, p, err := verify.AuditBothEngines(g, procs, factory, verify.ForScheduler(name))
+			if err != nil {
+				t.Fatalf("scheduler %s: %v", name, err)
+			}
+			completions[name] = np.CompletionTime
+			completions[name+"+preempt"] = p.CompletionTime
+		}
+		if _, err := verify.CheckOptimum(g, procs, completions); err != nil {
+			if strings.Contains(err.Error(), "budget") {
+				t.Skip("optimum search budget exhausted")
+			}
+			t.Fatal(err)
+		}
+	})
+}

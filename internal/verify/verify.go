@@ -1,0 +1,353 @@
+// Package verify independently audits finished schedules. The
+// simulation engine in internal/sim owns all mechanism, which means an
+// engine bug — a capacity miscount, a precedence race, lost work at a
+// preemption boundary — would silently shift every completion-time
+// ratio the experiment harness reports. This package replays a
+// simulation trace against the original K-DAG and machine config with
+// separate bookkeeping and checks every invariant the paper's model
+// implies:
+//
+//   - Typed capacity: at no instant do more than Pα α-tasks run
+//     concurrently (the feasibility condition lα ≤ Pα per round).
+//   - Precedence: no task starts before all of its parents finish.
+//   - Work conservation: each task's executed intervals sum exactly to
+//     its work, and per-type busy time equals T1(J, α).
+//   - Execution-mode contracts: non-preemptive schedules run every
+//     task to completion in one placement (which also rules out
+//     migration); preemptive intervals never exceed the quantum.
+//   - Makespan bounds: T ≥ max(T∞, maxα T1(J,α)/Pα) always, and
+//     T ≤ Σα T1(J,α)/Pα + T∞ for greedy (KGreedy) schedules — the
+//     bound behind the paper's (K+1)-competitiveness.
+//   - Non-idling (optional): no α-processor idles while an α-task is
+//     ready, the defining property of greedy schedules.
+//
+// The auditor registers itself with sim.RegisterAuditor at init time,
+// so any program that links this package may set sim.Config.Paranoid
+// to audit every run inline. differential.go adds cross-engine and
+// exhaustive-optimum oracles on top.
+package verify
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+	"fhs/internal/metrics"
+	"fhs/internal/sim"
+)
+
+// Options selects the policy-specific invariants Audit checks on top
+// of the universal ones.
+type Options struct {
+	// NonIdling requires the schedule to be greedy: at no instant may
+	// an α-processor idle while an α-task is ready. True for KGreedy by
+	// construction; offline policies are allowed to idle deliberately.
+	NonIdling bool
+
+	// GreedyBound additionally checks the greedy makespan guarantee
+	// T ≤ Σα T1(J,α)/Pα + T∞ (the paper's Theorem on KGreedy). Only
+	// sound for non-idling schedules.
+	GreedyBound bool
+}
+
+// ForScheduler returns the audit options appropriate for a scheduler
+// name from the core registry: the greedy-only invariants are enabled
+// for KGreedy and nothing else.
+func ForScheduler(name string) Options {
+	kg := name == "KGreedy"
+	return Options{NonIdling: kg, GreedyBound: kg}
+}
+
+func init() {
+	sim.RegisterAuditor(func(g *dag.Graph, cfg sim.Config, s sim.Scheduler, res *sim.Result) error {
+		return Audit(g, cfg, res, ForScheduler(s.Name()))
+	})
+}
+
+// Audit replays res.Trace against g and cfg and returns an error
+// describing the first violated invariant, or nil for a valid
+// schedule. The trace must be complete (Config.CollectTrace was set);
+// sim.Run with Config.Paranoid arranges that automatically.
+//
+// Events at the same instant are treated as simultaneous: processors
+// released by a finish or preemption at time t may be reused by a
+// start at time t, and a task may start the instant its last parent
+// finishes. This matches the discrete-time semantics of both engines
+// without depending on their intra-instant event ordering.
+func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
+	if err := cfg.Validate(g.K()); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	n := g.NumTasks()
+	k := g.K()
+	if len(res.BusyTime) != k {
+		return fmt.Errorf("verify: result has %d busy-time entries, job has K=%d", len(res.BusyTime), k)
+	}
+	if n == 0 {
+		if res.CompletionTime != 0 {
+			return fmt.Errorf("verify: empty job reports completion time %d", res.CompletionTime)
+		}
+		return nil
+	}
+	if len(res.Trace) == 0 {
+		return fmt.Errorf("verify: no trace to audit (set Config.CollectTrace)")
+	}
+
+	quantum := cfg.Quantum
+	if quantum <= 0 {
+		quantum = 1
+	}
+
+	a := &audit{
+		g:        g,
+		cfg:      &cfg,
+		opts:     opts,
+		quantum:  quantum,
+		executed: make([]int64, n),
+		runStart: make([]int64, n),
+		finish:   make([]int64, n),
+		starts:   make([]int, n),
+		pending:  make([]int, n),
+		running:  make([]int, k),
+		ready:    make([]int, k),
+	}
+	for i := 0; i < n; i++ {
+		id := dag.TaskID(i)
+		a.runStart[i] = -1
+		a.finish[i] = -1
+		a.pending[i] = g.NumParents(id)
+	}
+	for _, r := range g.Roots() {
+		a.ready[g.Task(r).Type]++
+	}
+
+	// Replay the trace one time-bucket at a time: releases (finish,
+	// preempt) before claims (start) within a bucket, then the
+	// non-idling check once the bucket settles.
+	trace := res.Trace
+	lastTime := int64(-1)
+	for i := 0; i < len(trace); {
+		t := trace[i].Time
+		if t < lastTime {
+			return fmt.Errorf("verify: trace time goes backwards: %d after %d", t, lastTime)
+		}
+		if t < 0 {
+			return fmt.Errorf("verify: negative event time %d", t)
+		}
+		lastTime = t
+		j := i
+		for j < len(trace) && trace[j].Time == t {
+			j++
+		}
+		for _, e := range trace[i:j] {
+			if e.Kind == sim.EventFinish || e.Kind == sim.EventPreempt {
+				if err := a.release(e); err != nil {
+					return err
+				}
+			}
+		}
+		for _, e := range trace[i:j] {
+			if e.Kind == sim.EventStart {
+				if err := a.claim(e); err != nil {
+					return err
+				}
+			}
+		}
+		if opts.NonIdling {
+			for alpha := 0; alpha < k; alpha++ {
+				if a.ready[alpha] > 0 && a.running[alpha] < cfg.Procs[alpha] {
+					return fmt.Errorf("verify: non-idling violated at t=%d: %d ready type-%d tasks while %d of %d processors idle",
+						t, a.ready[alpha], alpha, cfg.Procs[alpha]-a.running[alpha], cfg.Procs[alpha])
+				}
+			}
+		}
+		i = j
+	}
+
+	if a.finished != n {
+		return fmt.Errorf("verify: trace ends at t=%d with %d/%d tasks finished", lastTime, a.finished, n)
+	}
+	return a.checkResult(res, lastTime)
+}
+
+// audit is the replay state: an independent re-derivation of what the
+// engine's State tracked, built only from the immutable graph and the
+// trace.
+type audit struct {
+	g       *dag.Graph
+	cfg     *sim.Config
+	opts    Options
+	quantum int64
+
+	executed []int64 // work performed so far, per task
+	runStart []int64 // start of the current run interval, -1 if not running
+	finish   []int64 // finish time, -1 if unfinished
+	starts   []int   // number of Start events, per task
+	pending  []int   // uncompleted parents, per task
+	running  []int   // running tasks per type
+	ready    []int   // ready (eligible, not running, not finished) per type
+
+	finished    int
+	totalStarts int64
+}
+
+// checkEvent validates the fields every event shares.
+func (a *audit) checkEvent(e sim.Event) error {
+	if e.Task < 0 || int(e.Task) >= a.g.NumTasks() {
+		return fmt.Errorf("verify: event references unknown task %d", e.Task)
+	}
+	if got := a.g.Task(e.Task).Type; e.Type != got {
+		return fmt.Errorf("verify: event for task %d carries type %d, task has type %d", e.Task, e.Type, got)
+	}
+	return nil
+}
+
+// release processes a Finish or Preempt event: the task leaves its
+// processor, its executed work grows by the closed interval, and (for
+// Finish) its children may become ready.
+func (a *audit) release(e sim.Event) error {
+	if err := a.checkEvent(e); err != nil {
+		return err
+	}
+	id, t := e.Task, e.Time
+	if a.runStart[id] < 0 {
+		return fmt.Errorf("verify: %s of task %d at t=%d but it is not running", e.Kind, id, t)
+	}
+	d := t - a.runStart[id]
+	if d <= 0 {
+		return fmt.Errorf("verify: task %d ran a non-positive interval [%d, %d)", id, a.runStart[id], t)
+	}
+	if a.cfg.Preemptive && d > a.quantum {
+		return fmt.Errorf("verify: task %d ran %d time units in one preemptive interval, quantum is %d", id, d, a.quantum)
+	}
+	work := a.g.Task(id).Work
+	a.executed[id] += d
+	if a.executed[id] > work {
+		return fmt.Errorf("verify: task %d executed %d of %d work units", id, a.executed[id], work)
+	}
+	a.runStart[id] = -1
+	a.running[e.Type]--
+
+	switch e.Kind {
+	case sim.EventPreempt:
+		if !a.cfg.Preemptive {
+			return fmt.Errorf("verify: preempt event for task %d in a non-preemptive schedule", id)
+		}
+		if a.executed[id] == work {
+			return fmt.Errorf("verify: task %d preempted at t=%d with no work left", id, t)
+		}
+		a.ready[e.Type]++ // back to its queue
+	case sim.EventFinish:
+		if a.executed[id] != work {
+			return fmt.Errorf("verify: task %d finished at t=%d with %d of %d work executed", id, t, a.executed[id], work)
+		}
+		if a.finish[id] >= 0 {
+			return fmt.Errorf("verify: task %d finished twice (t=%d and t=%d)", id, a.finish[id], t)
+		}
+		a.finish[id] = t
+		a.finished++
+		for _, c := range a.g.Children(id) {
+			a.pending[c]--
+			if a.pending[c] == 0 {
+				a.ready[a.g.Task(c).Type]++
+			} else if a.pending[c] < 0 {
+				return fmt.Errorf("verify: task %d completed more parents than it has", c)
+			}
+		}
+	}
+	return nil
+}
+
+// claim processes a Start event: the task must be eligible (all
+// parents finished, not running, not finished) and the pool must have
+// spare capacity.
+func (a *audit) claim(e sim.Event) error {
+	if err := a.checkEvent(e); err != nil {
+		return err
+	}
+	id, t := e.Task, e.Time
+	if a.finish[id] >= 0 {
+		return fmt.Errorf("verify: task %d starts at t=%d after finishing at t=%d", id, t, a.finish[id])
+	}
+	if a.runStart[id] >= 0 {
+		return fmt.Errorf("verify: task %d starts at t=%d while already running since t=%d", id, t, a.runStart[id])
+	}
+	if a.pending[id] > 0 {
+		return fmt.Errorf("verify: precedence violated: task %d starts at t=%d with %d unfinished parents", id, t, a.pending[id])
+	}
+	a.starts[id]++
+	a.totalStarts++
+	if !a.cfg.Preemptive && a.starts[id] > 1 {
+		return fmt.Errorf("verify: task %d started %d times in a non-preemptive schedule", id, a.starts[id])
+	}
+	a.running[e.Type]++
+	if a.running[e.Type] > a.cfg.Procs[e.Type] {
+		return fmt.Errorf("verify: capacity violated at t=%d: %d type-%d tasks running on %d processors",
+			t, a.running[e.Type], e.Type, a.cfg.Procs[e.Type])
+	}
+	a.ready[e.Type]--
+	if a.ready[e.Type] < 0 {
+		return fmt.Errorf("verify: task %d starts at t=%d but no type-%d task was ready", id, t, e.Type)
+	}
+	a.runStart[id] = t
+	return nil
+}
+
+// checkResult cross-checks the reported aggregates against the
+// replayed schedule and the paper's makespan bounds.
+func (a *audit) checkResult(res *sim.Result, lastTime int64) error {
+	g, cfg := a.g, a.cfg
+	T := res.CompletionTime
+	if T != lastTime {
+		return fmt.Errorf("verify: completion time %d but last trace event at t=%d", T, lastTime)
+	}
+
+	// Work conservation in aggregate: reported per-type busy time must
+	// equal the job's typed work exactly.
+	for alpha := 0; alpha < g.K(); alpha++ {
+		if want := g.TypedWork(dag.Type(alpha)); res.BusyTime[alpha] != want {
+			return fmt.Errorf("verify: busy time of type %d is %d, typed work is %d", alpha, res.BusyTime[alpha], want)
+		}
+	}
+	if len(res.Utilization) != g.K() {
+		return fmt.Errorf("verify: result has %d utilization entries, job has K=%d", len(res.Utilization), g.K())
+	}
+	const eps = 1e-9
+	for alpha, u := range res.Utilization {
+		want := float64(res.BusyTime[alpha]) / (float64(cfg.Procs[alpha]) * float64(T))
+		if diff := u - want; diff > eps || diff < -eps {
+			return fmt.Errorf("verify: utilization of type %d is %g, recomputed %g", alpha, u, want)
+		}
+	}
+	if res.Decisions != a.totalStarts {
+		return fmt.Errorf("verify: %d decisions reported but %d start events traced", res.Decisions, a.totalStarts)
+	}
+
+	// Lower bounds: no schedule beats the span or the typed work over
+	// pool size (all-integer arithmetic, no rounding concerns).
+	if T < g.Span() {
+		return fmt.Errorf("verify: completion time %d beats the span %d", T, g.Span())
+	}
+	for alpha := 0; alpha < g.K(); alpha++ {
+		if T*int64(cfg.Procs[alpha]) < g.TypedWork(dag.Type(alpha)) {
+			return fmt.Errorf("verify: completion time %d beats the type-%d work bound %d/%d",
+				T, alpha, g.TypedWork(dag.Type(alpha)), cfg.Procs[alpha])
+		}
+	}
+	if lb, err := metrics.LowerBound(g, cfg.Procs); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	} else if float64(T) < lb-eps {
+		return fmt.Errorf("verify: completion time %d beats the lower bound L(J)=%g", T, lb)
+	}
+
+	// Upper bound for greedy schedules: T ≤ Σα T1(J,α)/Pα + T∞.
+	if a.opts.GreedyBound {
+		bound := float64(g.Span())
+		for alpha := 0; alpha < g.K(); alpha++ {
+			bound += float64(g.TypedWork(dag.Type(alpha))) / float64(cfg.Procs[alpha])
+		}
+		if float64(T) > bound+eps {
+			return fmt.Errorf("verify: greedy bound violated: completion time %d > Σα Wα/Pα + span = %g", T, bound)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package verify_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+	"fhs/internal/workload"
+)
+
+// allSchedulers returns every name in the core registry: the six
+// algorithms of the main comparison, the Figure 8 information-model
+// variants, and the ablated balance rules.
+func allSchedulers() []string {
+	names := core.Names()
+	for _, n := range core.MQBVariantNames() {
+		if n != "KGreedy" { // already present
+			names = append(names, n)
+		}
+	}
+	return append(names, "MQB/MinOnly", "MQB/Sum")
+}
+
+// chain2 builds the 2-task chain 0 -> 1 of unit work on one type.
+func chain2(t *testing.T) *dag.Graph {
+	t.Helper()
+	b := dag.NewBuilder(1)
+	x := b.AddTask(0, 1)
+	y := b.AddTask(0, 1)
+	b.AddEdge(x, y)
+	return b.MustBuild()
+}
+
+// result assembles a Result the way the engine would report it for a
+// hand-crafted trace.
+func result(completion int64, busy []int64, procs []int, decisions int64, trace []sim.Event) *sim.Result {
+	util := make([]float64, len(busy))
+	for a := range busy {
+		util[a] = float64(busy[a]) / (float64(procs[a]) * float64(completion))
+	}
+	return &sim.Result{
+		CompletionTime: completion,
+		BusyTime:       busy,
+		Utilization:    util,
+		Decisions:      decisions,
+		Trace:          trace,
+	}
+}
+
+func TestAuditAcceptsValidHandBuiltTrace(t *testing.T) {
+	g := chain2(t)
+	cfg := sim.Config{Procs: []int{1}, CollectTrace: true}
+	res := result(2, []int64{2}, cfg.Procs, 2, []sim.Event{
+		{Time: 0, Task: 0, Type: 0, Kind: sim.EventStart},
+		{Time: 1, Task: 0, Type: 0, Kind: sim.EventFinish},
+		{Time: 1, Task: 1, Type: 0, Kind: sim.EventStart},
+		{Time: 2, Task: 1, Type: 0, Kind: sim.EventFinish},
+	})
+	if err := verify.Audit(g, cfg, res, verify.Options{NonIdling: true, GreedyBound: true}); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestAuditDetectsViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options)
+		want  string // substring of the expected error
+	}{
+		{
+			name: "capacity exceeded",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				b := dag.NewBuilder(1)
+				b.AddTask(0, 1)
+				b.AddTask(0, 1)
+				g := b.MustBuild()
+				cfg := sim.Config{Procs: []int{1}}
+				res := result(1, []int64{2}, cfg.Procs, 2, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 0, Task: 1, Kind: sim.EventStart}, // second task on a 1-proc pool
+					{Time: 1, Task: 0, Kind: sim.EventFinish},
+					{Time: 1, Task: 1, Kind: sim.EventFinish},
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "capacity violated",
+		},
+		{
+			name: "precedence violated",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				g := chain2(t)
+				cfg := sim.Config{Procs: []int{2}}
+				res := result(1, []int64{2}, cfg.Procs, 2, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 0, Task: 1, Kind: sim.EventStart}, // child starts with parent unfinished
+					{Time: 1, Task: 0, Kind: sim.EventFinish},
+					{Time: 1, Task: 1, Kind: sim.EventFinish},
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "precedence violated",
+		},
+		{
+			name: "work not conserved",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				b := dag.NewBuilder(1)
+				b.AddTask(0, 3)
+				g := b.MustBuild()
+				cfg := sim.Config{Procs: []int{1}}
+				res := result(1, []int64{3}, cfg.Procs, 1, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 1, Task: 0, Kind: sim.EventFinish}, // 1 of 3 work units done
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "1 of 3 work",
+		},
+		{
+			name: "preempt in non-preemptive schedule",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				b := dag.NewBuilder(1)
+				b.AddTask(0, 2)
+				g := b.MustBuild()
+				cfg := sim.Config{Procs: []int{1}}
+				res := result(3, []int64{2}, cfg.Procs, 2, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 1, Task: 0, Kind: sim.EventPreempt},
+					{Time: 2, Task: 0, Kind: sim.EventStart},
+					{Time: 3, Task: 0, Kind: sim.EventFinish},
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "preempt event",
+		},
+		{
+			name: "task never finishes",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				g := chain2(t)
+				cfg := sim.Config{Procs: []int{1}}
+				res := result(1, []int64{2}, cfg.Procs, 1, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 1, Task: 0, Kind: sim.EventFinish},
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "1/2 tasks finished",
+		},
+		{
+			name: "non-idling violated",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				b := dag.NewBuilder(1)
+				b.AddTask(0, 1)
+				b.AddTask(0, 1)
+				g := b.MustBuild()
+				cfg := sim.Config{Procs: []int{2}}
+				// Serial schedule on a 2-proc pool: legal, but not greedy.
+				res := result(2, []int64{2}, cfg.Procs, 2, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 1, Task: 0, Kind: sim.EventFinish},
+					{Time: 1, Task: 1, Kind: sim.EventStart},
+					{Time: 2, Task: 1, Kind: sim.EventFinish},
+				})
+				return g, cfg, res, verify.Options{NonIdling: true}
+			},
+			want: "non-idling violated",
+		},
+		{
+			name: "preemptive interval exceeds quantum",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				b := dag.NewBuilder(1)
+				b.AddTask(0, 4)
+				g := b.MustBuild()
+				cfg := sim.Config{Procs: []int{1}, Preemptive: true, Quantum: 2}
+				res := result(4, []int64{4}, cfg.Procs, 1, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 4, Task: 0, Kind: sim.EventFinish}, // ran 4 > quantum 2
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "quantum",
+		},
+		{
+			name: "busy time inflated",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				g := chain2(t)
+				cfg := sim.Config{Procs: []int{1}}
+				res := result(2, []int64{99}, cfg.Procs, 2, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 1, Task: 0, Kind: sim.EventFinish},
+					{Time: 1, Task: 1, Kind: sim.EventStart},
+					{Time: 2, Task: 1, Kind: sim.EventFinish},
+				})
+				return g, cfg, res, verify.Options{}
+			},
+			want: "typed work",
+		},
+		{
+			name: "completion time misreported",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				g := chain2(t)
+				cfg := sim.Config{Procs: []int{1}}
+				res := result(2, []int64{2}, cfg.Procs, 2, []sim.Event{
+					{Time: 0, Task: 0, Kind: sim.EventStart},
+					{Time: 1, Task: 0, Kind: sim.EventFinish},
+					{Time: 1, Task: 1, Kind: sim.EventStart},
+					{Time: 2, Task: 1, Kind: sim.EventFinish},
+				})
+				res.CompletionTime = 5
+				res.Utilization = []float64{2.0 / 5}
+				return g, cfg, res, verify.Options{}
+			},
+			want: "last trace event",
+		},
+		{
+			name: "empty trace",
+			build: func(t *testing.T) (*dag.Graph, sim.Config, *sim.Result, verify.Options) {
+				g := chain2(t)
+				cfg := sim.Config{Procs: []int{1}}
+				return g, cfg, &sim.Result{CompletionTime: 2, BusyTime: []int64{2}}, verify.Options{}
+			},
+			want: "no trace",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, cfg, res, opts := tc.build(t)
+			err := verify.Audit(g, cfg, res, opts)
+			if err == nil {
+				t.Fatal("audit accepted an invalid schedule")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAuditAcceptsAllSchedulersOnRealWorkloads drives every registered
+// scheduler through both engines on generated jobs and audits each
+// trace — the paranoid path exercised explicitly.
+func TestAuditAcceptsAllSchedulersOnRealWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	jobs := []*dag.Graph{
+		workload.MustGenerate(workload.DefaultEP(3, workload.Layered), rng),
+		workload.MustGenerate(workload.DefaultIR(2, workload.Random), rng),
+		dag.Figure1(),
+	}
+	for _, g := range jobs {
+		procs := make([]int, g.K())
+		for a := range procs {
+			procs[a] = rng.Intn(3) + 1
+		}
+		for _, name := range allSchedulers() {
+			for _, preemptive := range []bool{false, true} {
+				cfg := sim.Config{Procs: procs, Preemptive: preemptive, CollectTrace: true}
+				res, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 11}), cfg)
+				if err != nil {
+					t.Fatalf("%s preemptive=%v: %v", name, preemptive, err)
+				}
+				if err := verify.Audit(g, cfg, &res, verify.ForScheduler(name)); err != nil {
+					t.Errorf("%s preemptive=%v: audit failed: %v", name, preemptive, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParanoidRunsInline checks the sim.Config.Paranoid wiring: with
+// this package linked in, Run audits transparently and strips the
+// internal trace unless the caller asked for one.
+func TestParanoidRunsInline(t *testing.T) {
+	g := workload.MustGenerate(workload.DefaultEP(2, workload.Layered), rand.New(rand.NewSource(3)))
+	res, err := sim.Run(g, core.MustNew("MQB", core.Params{}), sim.Config{Procs: []int{2, 2}, Paranoid: true})
+	if err != nil {
+		t.Fatalf("paranoid run failed: %v", err)
+	}
+	if res.Trace != nil {
+		t.Error("paranoid run leaked the internal trace")
+	}
+	res, err = sim.Run(g, core.MustNew("KGreedy", core.Params{}), sim.Config{Procs: []int{2, 2}, Paranoid: true, CollectTrace: true})
+	if err != nil {
+		t.Fatalf("paranoid run with trace failed: %v", err)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("paranoid run dropped the requested trace")
+	}
+}
+
+// TestParanoidEmptyJob: the degenerate zero-task job audits cleanly.
+func TestParanoidEmptyJob(t *testing.T) {
+	g := dag.NewBuilder(1).MustBuild()
+	res, err := sim.Run(g, core.MustNew("KGreedy", core.Params{}), sim.Config{Procs: []int{1}, Paranoid: true})
+	if err != nil {
+		t.Fatalf("empty job: %v", err)
+	}
+	if res.CompletionTime != 0 {
+		t.Errorf("empty job completion = %d", res.CompletionTime)
+	}
+}
