@@ -83,11 +83,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(g, s, sim.Config{
+		cfg := sim.Config{
 			Procs:        procs,
 			Preemptive:   *preemptive,
 			CollectTrace: *trace || *gantt || *analyzeF,
-		})
+		}
+		res, err := sim.Run(g, s, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func main() {
 		}
 		if *gantt {
 			tw.Flush()
-			if err := sim.WriteGantt(os.Stdout, g, &res, procs, 0); err != nil {
+			if err := sim.WriteGantt(os.Stdout, g, &res, cfg, 0); err != nil {
 				log.Fatal(err)
 			}
 		}

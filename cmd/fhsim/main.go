@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	fhsim [-figure 4|5|6|7|8|all] [-instances N] [-seed S] [-workers W]
-//	      [-csv FILE] [-svg DIR] [-match SUBSTR] [-quiet] [-verify]
+//	fhsim [-figure 4|5|6|7|8|faults|all] [-faults] [-instances N]
+//	      [-seed S] [-workers W] [-csv FILE] [-svg DIR] [-match SUBSTR]
+//	      [-quiet] [-verify]
 //
 // Each figure expands to its experiment panels (see internal/exp);
 // fhsim runs them, prints aligned text tables, a one-line summary per
-// panel, and optionally a flat CSV of all rows.
+// panel, and optionally a flat CSV of all rows. -faults (or -figure
+// faults) runs the beyond-paper robustness study instead: the paper's
+// schedulers under processor churn and transient task failures, with
+// wasted-work, kill and recovery columns added to the tables. "all"
+// covers the paper figures only, so the reproduction runs stay exactly
+// as published; the fault study is always explicit.
 package main
 
 import (
@@ -82,7 +88,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fhsim: ")
 	var (
-		figure    = flag.String("figure", "all", "figure to reproduce: 4, 5, 6, 7, 8 or all")
+		figure    = flag.String("figure", "all", "figure to reproduce: 4, 5, 6, 7, 8, faults or all (= paper figures)")
+		faults    = flag.Bool("faults", false, "run the robustness preset (shorthand for -figure faults)")
 		instances = flag.Int("instances", 1000, "job instances per plotted point (paper: 5000)")
 		seed      = flag.Int64("seed", 1, "root random seed")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
@@ -96,14 +103,19 @@ func main() {
 
 	figs := exp.Figures()
 	var names []string
-	if *figure == "all" {
+	switch {
+	case *faults:
+		names = []string{"faults"}
+	case *figure == "all":
 		for name := range figs {
-			names = append(names, name)
+			if name != "faults" { // robustness study is opt-in
+				names = append(names, name)
+			}
 		}
 		sort.Strings(names)
-	} else {
+	default:
 		if _, ok := figs[*figure]; !ok {
-			log.Fatalf("unknown figure %q (want 4, 5, 6, 7, 8 or all)", *figure)
+			log.Fatalf("unknown figure %q (want 4, 5, 6, 7, 8, faults or all)", *figure)
 		}
 		names = []string{*figure}
 	}

@@ -71,6 +71,13 @@ type Report struct {
 // Analyze reconstructs per-pool accounting from a trace. The trace
 // must cover the whole run (Config.CollectTrace) and the result must
 // be the one the trace came from.
+//
+// Fault-injected traces are accepted — a crash kill or transient
+// failure returns its task to the ready queue like a preemption — but
+// idle time is classified against the nominal pool sizes: processor
+// time lost to an outage counts as starved or policy idle, not as a
+// separate category. Use internal/verify for capacity-exact auditing
+// of faulty runs.
 func Analyze(g *dag.Graph, res *sim.Result, procs []int) (*Report, error) {
 	if len(procs) != g.K() {
 		return nil, fmt.Errorf("analyze: %d pools for a job with K=%d", len(procs), g.K())
@@ -143,7 +150,9 @@ func Analyze(g *dag.Graph, res *sim.Result, procs []int) (*Report, error) {
 		switch ev.Kind {
 		case sim.EventStart:
 			deltas[a] = append(deltas[a], delta{t: ev.Time, queue: -1, run: +1})
-		case sim.EventPreempt:
+		case sim.EventPreempt, sim.EventKill, sim.EventFail:
+			// Kills and transient failures hand the task back to the
+			// queue, exactly like a preemption as far as occupancy goes.
 			deltas[a] = append(deltas[a], delta{t: ev.Time, queue: +1, run: -1})
 		case sim.EventFinish:
 			deltas[a] = append(deltas[a], delta{t: ev.Time, run: -1})

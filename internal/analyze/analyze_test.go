@@ -9,6 +9,7 @@ import (
 
 	"fhs/internal/core"
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 	"fhs/internal/sim"
 	"fhs/internal/workload"
 )
@@ -229,5 +230,40 @@ func TestStarvationExplainsKGreedyVsMQBOnLayeredEP(t *testing.T) {
 	mqb := starved(core.NewMQB(core.MQBOptions{}))
 	if mqb >= kg {
 		t.Errorf("MQB starved %d not below KGreedy %d on layered EP", mqb, kg)
+	}
+}
+
+func TestAnalyzeFaultTrace(t *testing.T) {
+	// The crash-golden instance of internal/sim: one pool of 2 losing a
+	// processor over [3,5), tasks of work 5 and 4, FIFO. The kill at
+	// t=3 re-queues the victim; analysis must stay consistent and keep
+	// busy time equal to executed-plus-wasted work (12 units).
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 5)
+	b.AddTask(0, 4)
+	g := b.MustBuild()
+	tl := fault.NewTimeline([]int{2})
+	tl.MustSet(0, 3, 1)
+	tl.MustSet(0, 5, 2)
+	procs := []int{2}
+	res, err := sim.Run(g, core.NewKGreedy(), sim.Config{
+		Procs: procs, Faults: &fault.Plan{Timeline: tl, MaxRetries: 3}, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(g, &res, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rep.Types[0]
+	if tr.BusyTime != 12 {
+		t.Errorf("busy = %d, want 12 (9 executed + 3 wasted)", tr.BusyTime)
+	}
+	// Accounting must still conserve processor-time against the
+	// nominal pool: busy + starved + policy idle = 2 * makespan.
+	if got := tr.BusyTime + tr.StarvedTime + tr.PolicyIdleTime; got != 2*rep.Makespan {
+		t.Errorf("accounting leaks: %d + %d + %d != 2*%d",
+			tr.BusyTime, tr.StarvedTime, tr.PolicyIdleTime, rep.Makespan)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"fhs/internal/dag"
@@ -205,7 +206,15 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 			if dag.Type(a) == alpha {
 				work -= float64(st.Remaining(id))
 			}
-			m.cand[a] = work / float64(st.Procs(dag.Type(a)))
+			// A fully crashed pool (fault timelines can drive Pα(t) to 0)
+			// has infinite x-utilization for any pending work, not NaN.
+			if procs := st.Procs(dag.Type(a)); procs > 0 {
+				m.cand[a] = work / float64(procs)
+			} else if work > 0 {
+				m.cand[a] = math.Inf(1)
+			} else {
+				m.cand[a] = 0
+			}
 		}
 		switch m.opts.Balance {
 		case BalanceLex:

@@ -219,7 +219,7 @@ func TestInstSeedDecorrelated(t *testing.T) {
 
 func TestFigurePresets(t *testing.T) {
 	o := Options{Instances: 10, Seed: 3}
-	counts := map[string]int{"4": 6, "5": 18, "6": 2, "7": 6, "8": 3}
+	counts := map[string]int{"4": 6, "5": 18, "6": 2, "7": 6, "8": 3, "faults": 7}
 	for name, builder := range Figures() {
 		specs := builder(o)
 		if len(specs) != counts[name] {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fhs/internal/core"
+	"fhs/internal/fault"
 	"fhs/internal/workload"
 )
 
@@ -136,13 +137,44 @@ func Figure8(o Options) []Spec {
 	return specs
 }
 
-// Figures maps figure identifiers ("4".."8") to their preset builders.
+// FigureFaults returns the beyond-paper robustness study: KGreedy,
+// LSpan and MQB on Small Layered EP under (a) a transient-failure
+// sweep — completion-time ratio and wasted-work fraction against the
+// per-completion failure probability — and (b) a processor-churn sweep
+// with decreasing MTTF (MTTR fixed at MTTF/4). The question it
+// answers: does MQB's utilization-balancing advantage over KGreedy
+// survive an unreliable machine, and at what wasted-work cost?
+func FigureFaults(o Options) []Spec {
+	o = o.fillDefaults()
+	k := DefaultK
+	wl := workload.DefaultEP(k, workload.Layered)
+	var specs []Spec
+	add := func(label string, fc fault.Config) {
+		s := panel(label, wl, workload.SmallMachine, o)
+		s.Schedulers = []string{"KGreedy", "LSpan", "MQB"}
+		s.Faults = &fc
+		specs = append(specs, s)
+	}
+	for _, p := range []float64{0.02, 0.05, 0.1, 0.2} {
+		add(fmt.Sprintf("Faults(a): Small Layered EP, failure p=%g", p),
+			fault.Config{FailureProb: p, MaxRetries: 40})
+	}
+	for _, mttf := range []float64{400, 150, 60} {
+		add(fmt.Sprintf("Faults(b): Small Layered EP, churn MTTF=%g", mttf),
+			fault.Config{MTTF: mttf, MTTR: mttf / 4, Horizon: 4096, MaxRetries: 60})
+	}
+	return specs
+}
+
+// Figures maps figure identifiers ("4".."8" and the beyond-paper
+// "faults" robustness study) to their preset builders.
 func Figures() map[string]func(Options) []Spec {
 	return map[string]func(Options) []Spec{
-		"4": Figure4,
-		"5": Figure5,
-		"6": Figure6,
-		"7": Figure7,
-		"8": Figure8,
+		"4":      Figure4,
+		"5":      Figure5,
+		"6":      Figure6,
+		"7":      Figure7,
+		"8":      Figure8,
+		"faults": FigureFaults,
 	}
 }

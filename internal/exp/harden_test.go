@@ -1,0 +1,331 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/fault"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+// panicScheduler explodes on chosen instances, standing in for a buggy
+// policy inside the worker pool.
+type panicScheduler struct {
+	inner sim.Scheduler
+	boom  bool
+}
+
+func (p *panicScheduler) Name() string { return "Panicky" }
+func (p *panicScheduler) Prepare(g *dag.Graph, cfg sim.Config) error {
+	return p.inner.Prepare(g, cfg)
+}
+func (p *panicScheduler) Pick(st *sim.State, a dag.Type) (dag.TaskID, bool) {
+	if p.boom {
+		panic("scheduler bug: nil queue entry")
+	}
+	return p.inner.Pick(st, a)
+}
+
+// withPanickingScheduler swaps the registry seam so KGreedy panics on
+// instances whose derived seed satisfies hit. Params.Seed is the
+// instance seed XOR (s+1)<<32, so low-bit traits track the instance.
+func withPanickingScheduler(t *testing.T, hit func(seed int64) bool) {
+	t.Helper()
+	orig := newScheduler
+	newScheduler = func(name string, p core.Params) (sim.Scheduler, error) {
+		s, err := orig(name, p)
+		if err != nil || name != "KGreedy" {
+			return s, err
+		}
+		return &panicScheduler{inner: s, boom: hit(p.Seed)}, nil
+	}
+	t.Cleanup(func() { newScheduler = orig })
+}
+
+// TestPanickingSchedulerIsRecovered is the hardening satellite's core
+// claim: a panic in the worker pool becomes a structured error carrying
+// the instance seed, not a process crash, and other instances survive.
+func TestPanickingSchedulerIsRecovered(t *testing.T) {
+	withPanickingScheduler(t, func(seed int64) bool { return seed&3 == 0 })
+	spec := tinySpec("panics", 4)
+	table, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Dropped == 0 || len(table.Errors) == 0 {
+		t.Fatal("no instances dropped despite panicking scheduler")
+	}
+	if table.Dropped == spec.Instances {
+		t.Fatal("every instance dropped; trait too broad for the test")
+	}
+	for _, e := range table.Errors {
+		if e.Scheduler != "KGreedy" {
+			t.Errorf("error attributed to %q, want KGreedy", e.Scheduler)
+		}
+		if !strings.Contains(e.Err, "panic: scheduler bug") {
+			t.Errorf("error %q does not surface the panic", e.Err)
+		}
+		if e.Seed != instSeed(spec.Seed, e.Instance) {
+			t.Errorf("instance %d: seed %d does not reproduce (want %d)",
+				e.Instance, e.Seed, instSeed(spec.Seed, e.Instance))
+		}
+	}
+	// Aggregates must pair over surviving instances only.
+	for _, r := range table.Rows {
+		if r.N != int64(spec.Instances-table.Dropped) {
+			t.Errorf("%s: N = %d, want %d", r.Scheduler, r.N, spec.Instances-table.Dropped)
+		}
+	}
+}
+
+// TestAllInstancesFailingErrors keeps catastrophic breakage loud: when
+// nothing survives, Run errors instead of returning an empty table.
+func TestAllInstancesFailingErrors(t *testing.T) {
+	withPanickingScheduler(t, func(int64) bool { return true })
+	_, err := Run(tinySpec("all-fail", 2))
+	if err == nil || !strings.Contains(err.Error(), "all 20 instances failed") {
+		t.Errorf("err = %v, want all-instances-failed error", err)
+	}
+}
+
+// TestErrorsDeterministicAcrossWorkers extends the bit-identical
+// contract to the error report.
+func TestErrorsDeterministicAcrossWorkers(t *testing.T) {
+	withPanickingScheduler(t, func(seed int64) bool { return seed&3 == 0 })
+	a, err := Run(tinySpec("errs1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinySpec("errs2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name, b.Name = "", ""
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tables with errors differ across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// slothScheduler runs exactly one task machine-wide at a time,
+// stretching completion to the serial schedule length — far past the
+// derived MaxTime guard on a wide machine.
+type slothScheduler struct {
+	last   dag.TaskID
+	active bool
+	stamp  int64 // instant of the latest grant, to give at most one task per instant
+	given  bool
+}
+
+func (s *slothScheduler) Name() string { return "Sloth" }
+func (s *slothScheduler) Prepare(*dag.Graph, sim.Config) error {
+	*s = slothScheduler{}
+	return nil
+}
+func (s *slothScheduler) Pick(st *sim.State, a dag.Type) (dag.TaskID, bool) {
+	if s.given && s.stamp == st.Now() {
+		return dag.NoTask, false
+	}
+	if s.active && st.Remaining(s.last) > 0 {
+		// Preemptive rounds requeue the incumbent; re-grant only it.
+		for _, id := range st.Ready(a) {
+			if id == s.last {
+				s.given, s.stamp = true, st.Now()
+				return id, true
+			}
+		}
+		return dag.NoTask, false
+	}
+	q := st.Ready(a)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	s.last, s.active = q[0], true
+	s.given, s.stamp = true, st.Now()
+	return q[0], true
+}
+
+// TestDerivedMaxTimeGuard is the MaxTime satellite's regression on both
+// engines: a degenerate policy trips the derived guard with the
+// engine's progress-reporting error instead of spinning, and NoMaxTime
+// restores the uncapped behavior. The job/machine shape guarantees the
+// trip: serial completion is ΣW ≥ 3000 while the guard is at most
+// 16·(span + ΣW/30 + 2) + 1024 < ΣW for every draw.
+func TestDerivedMaxTimeGuard(t *testing.T) {
+	wl := workload.Config{Class: workload.EP, Typing: workload.Random, K: 2,
+		WorkMin: 1, WorkMax: 2,
+		EP: workload.EPParams{BranchesMin: 1500, BranchesMax: 1500, LengthMin: 2, LengthMax: 2}}
+	machine := workload.ResourceRange{MinPerType: 30, MaxPerType: 30}
+
+	orig := newScheduler
+	newScheduler = func(string, core.Params) (sim.Scheduler, error) {
+		return &slothScheduler{}, nil
+	}
+	t.Cleanup(func() { newScheduler = orig })
+
+	for _, preemptive := range []bool{false, true} {
+		spec := Spec{Name: "sloth", Workload: wl, Machine: machine,
+			Schedulers: []string{"KGreedy"}, Instances: 2, Seed: 3, Workers: 1, Preemptive: preemptive}
+		_, err := Run(spec)
+		if err == nil || !strings.Contains(err.Error(), "MaxTime") {
+			t.Errorf("preemptive=%v: err = %v, want derived MaxTime to trip", preemptive, err)
+		}
+		spec.NoMaxTime = true
+		table, err := Run(spec)
+		if err != nil {
+			t.Errorf("preemptive=%v: uncapped run failed: %v", preemptive, err)
+		} else if table.Dropped != 0 {
+			t.Errorf("preemptive=%v: uncapped run dropped %d instances: %v",
+				preemptive, table.Dropped, table.Errors)
+		}
+	}
+}
+
+// faultSpec is tinySpec under a busy fault distribution: churn and
+// transient failures together.
+func faultSpec(name string, workers int) Spec {
+	s := tinySpec(name, workers)
+	s.Schedulers = []string{"KGreedy", "LSpan", "MQB"}
+	s.Faults = &fault.Config{MTTF: 60, MTTR: 15, Horizon: 2048, FailureProb: 0.1, MaxRetries: 40}
+	return s
+}
+
+// TestFaultTablesBitIdenticalAcrossWorkerCounts extends the
+// determinism contract to fault-injected panels: aggregates, fault
+// metrics and errors must match bit for bit however instances land on
+// workers.
+func TestFaultTablesBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial, err := Run(faultSpec("f1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(faultSpec("f2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Name, parallel.Name = "", ""
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("fault tables differ across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if !serial.Faulty {
+		t.Error("fault panel not marked Faulty")
+	}
+	injected := false
+	for _, r := range serial.Rows {
+		if r.Recoveries > 0 || r.Wasted > 0 {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Error("fault distribution injected nothing; tune the test parameters")
+	}
+}
+
+// TestFaultSpecParanoidAuditsCleanly runs fault panels with inline
+// audits on both engines: the extended auditor must accept every faulty
+// schedule the engines produce.
+func TestFaultSpecParanoidAuditsCleanly(t *testing.T) {
+	for _, preemptive := range []bool{false, true} {
+		spec := faultSpec("fp", 0)
+		spec.Instances = 12
+		spec.Preemptive = preemptive
+		spec.Paranoid = true
+		table, err := Run(spec)
+		if err != nil {
+			t.Fatalf("preemptive=%v: %v", preemptive, err)
+		}
+		if table.Dropped != 0 {
+			t.Errorf("preemptive=%v: paranoid fault run dropped %d instances: %v",
+				preemptive, table.Dropped, table.Errors)
+		}
+	}
+}
+
+// TestFaultReportColumns checks the fault columns render in table and
+// CSV output without disturbing the legacy layout.
+func TestFaultReportColumns(t *testing.T) {
+	table := Table{
+		Name:   "faulty",
+		Faulty: true,
+		Rows: []Row{
+			{Scheduler: "KGreedy", Mean: 2.5, N: 10, Wasted: 0.125, Kills: 1.5, Recoveries: 2.25},
+		},
+		Errors:  []InstanceError{{Instance: 3, Seed: 42, Scheduler: "KGreedy", Err: "boom"}},
+		Dropped: 2,
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, table); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wasted", "kills", "recov", "0.125", "dropped 2 instance(s)", "seed 42", "... and 1 more"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, []Table{table}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasSuffix(lines[0], "n,wasted,kills,recoveries") {
+		t.Errorf("CSV header lacks trailing fault columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.125000") {
+		t.Errorf("CSV row lacks wasted fraction: %q", lines[1])
+	}
+	if s := Summarize(table); !strings.Contains(s, "2 instance(s) dropped") {
+		t.Errorf("Summarize lacks dropped note: %q", s)
+	}
+}
+
+// TestFaultsPresetSmall smoke-runs the robustness preset end to end at
+// a reduced instance count and sanity-checks its shape: a 10x higher
+// failure probability wastes more work, and churn panels actually kill
+// running tasks.
+func TestFaultsPresetSmall(t *testing.T) {
+	specs := FigureFaults(Options{Instances: 25, Seed: 2})
+	if len(specs) != 7 {
+		t.Fatalf("faults preset has %d panels, want 7", len(specs))
+	}
+	tables, err := RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"KGreedy", "MQB"} {
+		low, high := tables[0].Row(name).Wasted, tables[3].Row(name).Wasted
+		if high <= low {
+			t.Errorf("%s: wasted fraction %g at p=0.2 not above %g at p=0.02", name, high, low)
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if tables[i].Row("KGreedy").Kills == 0 {
+			t.Errorf("churn panel %d recorded no kills", i)
+		}
+	}
+}
+
+// TestInactiveFaultConfigChangesNothing pins backward compatibility:
+// fault support must not shift the random draws of reliable panels, so
+// historical results stay reproducible.
+func TestInactiveFaultConfigChangesNothing(t *testing.T) {
+	spec := tinySpec("stream", 1)
+	table, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFaults := spec
+	withFaults.Faults = &fault.Config{}
+	table2, err := Run(withFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Name, table2.Name = "", ""
+	if !reflect.DeepEqual(table, table2) {
+		t.Errorf("inactive fault config changed results:\n%+v\nvs\n%+v", table, table2)
+	}
+}

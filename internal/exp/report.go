@@ -10,19 +10,38 @@ import (
 )
 
 // WriteTable renders a panel as an aligned text table, the harness's
-// human-readable output format.
+// human-readable output format. Fault panels grow wasted-work, kill
+// and recovery columns; dropped instances are footnoted with their
+// first few reproducing seeds.
 func WriteTable(w io.Writer, t Table) error {
 	if _, err := fmt.Fprintf(w, "%s (n=%d per scheduler)\n", t.Name, rowN(t)); err != nil {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheduler\tavg ratio\tmax\tmin\tstddev\tp50\tp95")
-	for _, r := range t.Rows {
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
-			r.Scheduler, r.Mean, r.Max, r.Min, r.StdDev, r.P50, r.P95)
+	if t.Faulty {
+		fmt.Fprintln(tw, "scheduler\tavg ratio\tmax\tmin\tstddev\tp50\tp95\twasted\tkills\trecov")
+		for _, r := range t.Rows {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\n",
+				r.Scheduler, r.Mean, r.Max, r.Min, r.StdDev, r.P50, r.P95, r.Wasted, r.Kills, r.Recoveries)
+		}
+	} else {
+		fmt.Fprintln(tw, "scheduler\tavg ratio\tmax\tmin\tstddev\tp50\tp95")
+		for _, r := range t.Rows {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				r.Scheduler, r.Mean, r.Max, r.Min, r.StdDev, r.P50, r.P95)
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(w, "dropped %d instance(s):\n", t.Dropped)
+		for _, e := range t.Errors {
+			fmt.Fprintf(w, "  %s\n", e.Error())
+		}
+		if t.Dropped > len(t.Errors) {
+			fmt.Fprintf(w, "  ... and %d more\n", t.Dropped-len(t.Errors))
+		}
 	}
 	_, err := fmt.Fprintln(w)
 	return err
@@ -39,11 +58,12 @@ func WriteTables(w io.Writer, tables []Table) error {
 }
 
 // WriteCSV renders panels as one flat CSV with columns
-// panel,scheduler,mean,max,min,stddev,p50,p95,n — convenient for
-// replotting.
+// panel,scheduler,mean,max,min,stddev,p50,p95,n,wasted,kills,recoveries
+// — convenient for replotting. The fault columns sit last (zero for
+// reliable panels) so consumers of the original layout keep working.
 func WriteCSV(w io.Writer, tables []Table) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"panel", "scheduler", "mean", "max", "min", "stddev", "p50", "p95", "n"}); err != nil {
+	if err := cw.Write([]string{"panel", "scheduler", "mean", "max", "min", "stddev", "p50", "p95", "n", "wasted", "kills", "recoveries"}); err != nil {
 		return err
 	}
 	for _, t := range tables {
@@ -58,6 +78,9 @@ func WriteCSV(w io.Writer, tables []Table) error {
 				formatFloat(r.P50),
 				formatFloat(r.P95),
 				strconv.FormatInt(r.N, 10),
+				formatFloat(r.Wasted),
+				formatFloat(r.Kills),
+				formatFloat(r.Recoveries),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -96,6 +119,9 @@ func Summarize(t Table) string {
 	fmt.Fprintf(&b, "%s: best %s (avg ratio %.3f)", t.Name, best.Scheduler, best.Mean)
 	if kg := t.Row("KGreedy"); kg != nil && kg.Mean > 0 && best.Scheduler != "KGreedy" {
 		fmt.Fprintf(&b, ", %.0f%% below KGreedy (%.3f)", 100*(kg.Mean-best.Mean)/kg.Mean, kg.Mean)
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, " [%d instance(s) dropped]", t.Dropped)
 	}
 	return b.String()
 }

@@ -1,14 +1,20 @@
 // Package exp is the experiment harness that regenerates the paper's
-// evaluation (Figures 4-8). A Spec describes one plotted panel: a job
-// distribution, a machine distribution, an execution mode and a set of
-// schedulers. Run draws N independent (job, machine) instances, runs
-// every scheduler on each instance — the same jobs and machines for
-// every algorithm, as in the paper — and aggregates completion-time
-// ratios T(J)/L(J) into a Table.
+// evaluation (Figures 4-8) plus the beyond-paper robustness study. A
+// Spec describes one plotted panel: a job distribution, a machine
+// distribution, an execution mode, an optional fault distribution and
+// a set of schedulers. Run draws N independent (job, machine)
+// instances, runs every scheduler on each instance — the same jobs,
+// machines and fault plans for every algorithm, as in the paper — and
+// aggregates completion-time ratios T(J)/L(J) into a Table.
 //
 // Instances execute on a worker pool; every random draw derives from
 // the Spec seed and the instance index, so results are deterministic
-// and independent of the worker count.
+// and independent of the worker count. The harness is hardened against
+// misbehaving policy/fault combinations: a scheduler panic or error is
+// recovered per instance and surfaced as a structured InstanceError
+// carrying the instance seed (the whole instance is dropped so rows
+// stay paired), and every simulation gets a derived MaxTime guard so
+// no combination can hang a run (Spec.NoMaxTime opts out).
 package exp
 
 import (
@@ -20,6 +26,8 @@ import (
 	"sync"
 
 	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/fault"
 	"fhs/internal/metrics"
 	"fhs/internal/sim"
 	_ "fhs/internal/verify" // registers the Paranoid-mode auditor
@@ -44,6 +52,12 @@ type Spec struct {
 	// Preemptive selects quantum-based rescheduling for all schedulers.
 	Preemptive bool
 
+	// Faults, when active, draws one fault plan per instance from this
+	// distribution (seeded from the instance seed, shared by all
+	// schedulers on that instance) and injects it into every
+	// simulation. Nil or an inactive config keeps the machine reliable.
+	Faults *fault.Config
+
 	// Schedulers lists registry names (see core.New) to compare.
 	Schedulers []string
 
@@ -58,9 +72,20 @@ type Spec struct {
 	Workers int
 
 	// Paranoid audits every simulated schedule with internal/verify
-	// (sim.Config.Paranoid): any invariant violation aborts the
-	// experiment instead of contaminating the figures.
+	// (sim.Config.Paranoid): an invariant violation drops the instance
+	// and is reported in Table.Errors instead of contaminating the
+	// figures.
 	Paranoid bool
+
+	// MaxTime caps each simulation's clock. 0 derives a generous
+	// default from the instance — c·(Σα Wα/Pα + T∞), scaled for
+	// worst-case fault churn — so degenerate policy/fault combinations
+	// fail fast with the engine's progress-reporting error instead of
+	// spinning. Set NoMaxTime to run uncapped.
+	MaxTime int64
+
+	// NoMaxTime disables the derived MaxTime default.
+	NoMaxTime bool
 }
 
 // Validate reports malformed specs before any work is spent.
@@ -71,11 +96,19 @@ func (s *Spec) Validate() error {
 	if len(s.Schedulers) == 0 {
 		return fmt.Errorf("exp: %s: no schedulers", s.Name)
 	}
+	if s.MaxTime < 0 {
+		return fmt.Errorf("exp: %s: negative MaxTime %d", s.Name, s.MaxTime)
+	}
 	if err := s.Workload.Validate(); err != nil {
 		return fmt.Errorf("exp: %s: %w", s.Name, err)
 	}
 	if err := s.Machine.Validate(); err != nil {
 		return fmt.Errorf("exp: %s: %w", s.Name, err)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("exp: %s: %w", s.Name, err)
+		}
 	}
 	for _, name := range s.Schedulers {
 		if _, err := core.New(name, core.Params{}); err != nil {
@@ -85,8 +118,8 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// Row aggregates one scheduler's completion-time ratios over all
-// instances of a panel.
+// Row aggregates one scheduler's per-instance observations over all
+// surviving instances of a panel.
 type Row struct {
 	Scheduler string
 	Mean      float64 // average completion-time ratio (the figures' y-axis)
@@ -96,12 +129,52 @@ type Row struct {
 	P50       float64 // median ratio
 	P95       float64 // 95th-percentile ratio
 	N         int64
+
+	// Fault metrics, all zero on reliable machines: Wasted is the mean
+	// wasted-work fraction (lost processor-time over total busy time),
+	// Kills the mean crash kills per instance, Recoveries the mean
+	// successful re-enqueues (kills + transient failures) per instance.
+	Wasted     float64
+	Kills      float64
+	Recoveries float64
 }
+
+// InstanceError describes one dropped instance: which draw failed,
+// the seed that reproduces it, the scheduler that was running (empty
+// for generation failures) and the error or recovered panic.
+type InstanceError struct {
+	Instance  int
+	Seed      int64
+	Scheduler string
+	Err       string
+}
+
+func (e InstanceError) Error() string {
+	who := e.Scheduler
+	if who == "" {
+		who = "setup"
+	}
+	return fmt.Sprintf("instance %d (seed %d) %s: %s", e.Instance, e.Seed, who, e.Err)
+}
+
+// maxReportedErrors bounds Table.Errors; Dropped always counts every
+// dropped instance.
+const maxReportedErrors = 25
 
 // Table is one finished panel.
 type Table struct {
 	Name string
 	Rows []Row
+
+	// Faulty marks panels run under a fault distribution, so reports
+	// know to show the fault columns.
+	Faulty bool
+
+	// Errors holds up to maxReportedErrors structured failures from
+	// dropped instances, sorted by (instance, scheduler); Dropped is
+	// the total number of instances excluded from the aggregates.
+	Errors  []InstanceError
+	Dropped int
 }
 
 // Row returns the row for a scheduler name, or nil if absent.
@@ -123,7 +196,22 @@ func instSeed(base int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// Run executes a panel and returns its aggregated table.
+// obs is one scheduler's measurements on one instance.
+type obs struct {
+	ratio  float64
+	wasted float64 // wasted-work fraction of busy time
+	kills  float64
+	recov  float64 // kills + transient failures
+}
+
+// newScheduler builds registry schedulers; a variable so harness tests
+// can inject misbehaving policies.
+var newScheduler = core.New
+
+// Run executes a panel and returns its aggregated table. Instance
+// failures — scheduler errors, audit violations, recovered panics —
+// drop the affected instance and are reported in Table.Errors; Run
+// itself errors only for invalid specs or when every instance failed.
 func Run(spec Spec) (Table, error) {
 	if err := spec.Validate(); err != nil {
 		return Table{}, err
@@ -137,16 +225,16 @@ func Run(spec Spec) (Table, error) {
 	}
 
 	nSched := len(spec.Schedulers)
-	ratios := make([]float64, spec.Instances*nSched)
+	observations := make([]obs, spec.Instances*nSched)
+	valid := make([]bool, spec.Instances)
 
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed []InstanceError
 	)
-	// The channel holds every index up front: a worker that exits on
-	// error must not leave the producer blocked on an unbuffered send
-	// (all workers failing used to deadlock Run).
+	// The channel holds every index up front so no producer can block
+	// regardless of how workers exit.
 	jobs := make(chan int, spec.Instances)
 	for i := 0; i < spec.Instances; i++ {
 		jobs <- i
@@ -157,36 +245,67 @@ func Run(spec Spec) (Table, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := runInstance(&spec, i, ratios[i*nSched:(i+1)*nSched]); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
+				if ierr := runInstance(&spec, i, observations[i*nSched:(i+1)*nSched]); ierr != nil {
+					mu.Lock()
+					failed = append(failed, *ierr)
+					mu.Unlock()
+					continue
 				}
+				valid[i] = true
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return Table{}, firstErr
+
+	// Worker interleaving must not leak into the output: errors sort by
+	// instance (at most one per instance — the first failure aborts it).
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Instance < failed[j].Instance })
+	table := Table{
+		Name:    spec.Name,
+		Rows:    make([]Row, nSched),
+		Faulty:  spec.Faults.Active(),
+		Dropped: len(failed),
+	}
+	if len(failed) > 0 {
+		table.Errors = failed
+		if len(table.Errors) > maxReportedErrors {
+			table.Errors = table.Errors[:maxReportedErrors]
+		}
+	}
+	if table.Dropped == spec.Instances {
+		return Table{}, fmt.Errorf("exp: %s: all %d instances failed; first: %s", spec.Name, spec.Instances, failed[0].Error())
 	}
 
-	table := Table{Name: spec.Name, Rows: make([]Row, nSched)}
-	sample := make([]float64, spec.Instances)
+	sample := make([]float64, 0, spec.Instances)
 	for s, name := range spec.Schedulers {
 		var sum metrics.Summary
+		var wasted, kills, recov float64
+		sample = sample[:0]
 		for i := 0; i < spec.Instances; i++ {
-			sum.Add(ratios[i*nSched+s])
-			sample[i] = ratios[i*nSched+s]
+			if !valid[i] {
+				continue
+			}
+			o := observations[i*nSched+s]
+			sum.Add(o.ratio)
+			sample = append(sample, o.ratio)
+			wasted += o.wasted
+			kills += o.kills
+			recov += o.recov
 		}
 		sort.Float64s(sample)
+		n := float64(len(sample))
 		table.Rows[s] = Row{
-			Scheduler: name,
-			Mean:      sum.Mean(),
-			Max:       sum.Max(),
-			Min:       sum.Min(),
-			StdDev:    sum.StdDev(),
-			P50:       percentile(sample, 0.50),
-			P95:       percentile(sample, 0.95),
-			N:         sum.N(),
+			Scheduler:  name,
+			Mean:       sum.Mean(),
+			Max:        sum.Max(),
+			Min:        sum.Min(),
+			StdDev:     sum.StdDev(),
+			P50:        percentile(sample, 0.50),
+			P95:        percentile(sample, 0.95),
+			N:          sum.N(),
+			Wasted:     wasted / n,
+			Kills:      kills / n,
+			Recoveries: recov / n,
 		}
 	}
 	return table, nil
@@ -208,38 +327,85 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-// runInstance draws instance i's job and machine and fills out[s] with
-// each scheduler's completion-time ratio.
-func runInstance(spec *Spec, i int, out []float64) error {
+// deriveMaxTime builds the default clock guard for one instance: a
+// generous multiple of the trivial schedule-length bound Σα ⌈Wα/Pα⌉ +
+// T∞, scaled by the retry budget under faults (each re-enqueue can
+// re-execute work) and extended past the churn timeline so a run never
+// fails merely for sleeping through an outage.
+func deriveMaxTime(g *dag.Graph, procs []int, plan *fault.Plan) int64 {
+	base := g.Span()
+	for a, p := range procs {
+		w := g.TypedWork(dag.Type(a))
+		base += (w + int64(p) - 1) / int64(p)
+	}
+	guard := 16*base + 1024
+	if plan.Active() {
+		guard *= int64(plan.MaxRetries) + 2
+		if plan.Timeline != nil {
+			guard += plan.Timeline.End()
+		}
+	}
+	return guard
+}
+
+// runInstance draws instance i's job, machine and fault plan and fills
+// out[s] with each scheduler's observations. Any failure — including a
+// panicking scheduler — is returned as a structured InstanceError and
+// the instance is dropped whole, keeping rows paired.
+func runInstance(spec *Spec, i int, out []obs) (ierr *InstanceError) {
 	seed := instSeed(spec.Seed, i)
+	current := "" // scheduler on deck, for panic attribution
+	defer func() {
+		if r := recover(); r != nil {
+			ierr = &InstanceError{Instance: i, Seed: seed, Scheduler: current, Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	fail := func(err error) *InstanceError {
+		return &InstanceError{Instance: i, Seed: seed, Scheduler: current, Err: err.Error()}
+	}
+
 	rng := rand.New(rand.NewSource(seed))
 	g, err := workload.Generate(spec.Workload, rng)
 	if err != nil {
-		return fmt.Errorf("exp: %s instance %d: %w", spec.Name, i, err)
+		return fail(err)
 	}
 	procs := spec.Machine.Sample(g.K(), rng)
 	if spec.SkewFactor > 1 {
 		procs = workload.SkewFirstType(procs, spec.SkewFactor)
 	}
+	var plan *fault.Plan
+	if spec.Faults.Active() {
+		plan = spec.Faults.NewPlan(procs, rng)
+	}
 	lb, err := metrics.LowerBound(g, procs)
 	if err != nil {
-		return fmt.Errorf("exp: %s instance %d: %w", spec.Name, i, err)
+		return fail(err)
 	}
-	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive, Paranoid: spec.Paranoid}
+	maxTime := spec.MaxTime
+	if maxTime == 0 && !spec.NoMaxTime {
+		maxTime = deriveMaxTime(g, procs, plan)
+	}
+	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive, Paranoid: spec.Paranoid, Faults: plan, MaxTime: maxTime}
 	for s, name := range spec.Schedulers {
+		current = name
 		// Schedulers are built fresh per instance with a seed derived
 		// from the instance seed and the scheduler index, so randomized
 		// information models (MQB+Exp/Noise) are reproducible no matter
 		// how instances land on workers.
-		sch, err := core.New(name, core.Params{Seed: seed ^ int64(s+1)<<32})
+		sch, err := newScheduler(name, core.Params{Seed: seed ^ int64(s+1)<<32})
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		res, err := sim.Run(g, sch, cfg)
 		if err != nil {
-			return fmt.Errorf("exp: %s instance %d scheduler %s: %w", spec.Name, i, name, err)
+			return fail(err)
 		}
-		out[s] = metrics.Ratio(res.CompletionTime, lb)
+		out[s] = obs{
+			ratio:  metrics.Ratio(res.CompletionTime, lb),
+			wasted: metrics.WastedFraction(res.WastedWork, res.BusyTime),
+			kills:  float64(res.Kills),
+			recov:  float64(res.Kills + res.Failures),
+		}
 	}
 	return nil
 }

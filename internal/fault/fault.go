@@ -1,0 +1,345 @@
+// Package fault models machine unreliability for the simulator: the
+// paper (and our seed reproduction) assumes a perfectly reliable
+// machine with fixed pool sizes Pα, while the motivating systems —
+// clusters of typed server classes — lose and regain machines
+// constantly. This package supplies the deterministic, seeded fault
+// models the engines inject:
+//
+//   - Processor churn: a Timeline makes the per-type capacity a step
+//     function Pα(t), either scripted explicitly or generated from
+//     seeded MTTF/MTTR distributions (Config.NewPlan). A capacity drop
+//     crashes processors; the engine kills resident tasks, which lose
+//     their progress (non-preemptive) or their current quantum
+//     (preemptive) and are re-enqueued.
+//   - Transient task failure: a completed task fails with seeded
+//     probability (Plan.FailureProb) and is re-enqueued from scratch.
+//
+// Both models charge a per-task retry budget (Plan.MaxRetries); a task
+// that exhausts it aborts the run with an error, so no fault scenario
+// can loop forever. Everything is a pure function of the Plan — the
+// completion-failure coin is a hash of (seed, task, attempt), not a
+// stateful RNG — so identical plans reproduce identical fault
+// sequences in both engines, across reruns and across worker counts.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fhs/internal/dag"
+)
+
+// Plan is the concrete fault injection for one simulation run. The
+// zero value (and nil) injects nothing. A Plan is immutable once built
+// and safe to share between runs and goroutines.
+type Plan struct {
+	// Timeline makes capacity time-varying; nil keeps the static Pα.
+	Timeline *Timeline
+
+	// FailureProb is the probability, in [0, 1], that a task fails
+	// transiently at the moment it completes and must rerun in full.
+	FailureProb float64
+
+	// MaxRetries bounds how many times one task may be re-enqueued
+	// after a crash kill or transient failure before the run aborts.
+	MaxRetries int
+
+	// Seed drives the completion-failure coin. Plans with different
+	// seeds fail different (task, attempt) pairs.
+	Seed int64
+}
+
+// Active reports whether the plan can actually perturb a run.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.FailureProb > 0 || (p.Timeline != nil && len(p.Timeline.times) > 0)
+}
+
+// Validate checks the plan against a machine's base pool sizes.
+func (p *Plan) Validate(procs []int) error {
+	if p == nil {
+		return nil
+	}
+	if p.FailureProb < 0 || p.FailureProb > 1 || math.IsNaN(p.FailureProb) {
+		return fmt.Errorf("fault: failure probability %g outside [0, 1]", p.FailureProb)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", p.MaxRetries)
+	}
+	if p.Timeline != nil {
+		if err := p.Timeline.Validate(procs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailsCompletion reports whether the given completion attempt of a
+// task fails transiently. It is a pure hash of (Seed, id, attempt) —
+// attempt is 0 for the task's first execution — so the coin sequence
+// is identical in both engines and independent of event ordering.
+func (p *Plan) FailsCompletion(id dag.TaskID, attempt int) bool {
+	if p == nil || p.FailureProb <= 0 {
+		return false
+	}
+	z := uint64(p.Seed) ^ 0x9E3779B97F4A7C15
+	z += uint64(uint32(id))*0xBF58476D1CE4E5B9 + uint64(uint32(attempt))*0x94D049BB133111EB
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < p.FailureProb
+}
+
+// step is one capacity breakpoint of a single pool.
+type step struct {
+	at  int64
+	cap int
+}
+
+// Timeline is a per-type capacity step function Pα(t). It starts at
+// the machine's base pool sizes; each Set call changes one pool's
+// capacity from an instant onward. Build it with NewTimeline + Set (or
+// Config.NewPlan) and treat it as immutable afterwards.
+type Timeline struct {
+	base  []int
+	steps [][]step // per type, strictly increasing at
+	times []int64  // merged, sorted, distinct breakpoint times
+}
+
+// NewTimeline returns a timeline with constant capacity equal to the
+// given base pool sizes.
+func NewTimeline(procs []int) *Timeline {
+	return &Timeline{
+		base:  append([]int(nil), procs...),
+		steps: make([][]step, len(procs)),
+	}
+}
+
+// K returns the number of pools the timeline covers.
+func (tl *Timeline) K() int { return len(tl.base) }
+
+// Set changes pool alpha's capacity to cap from time at onward. Times
+// must be positive and strictly increasing per pool; capacities must
+// stay within [0, base].
+func (tl *Timeline) Set(alpha dag.Type, at int64, cap int) error {
+	if int(alpha) < 0 || int(alpha) >= len(tl.base) {
+		return fmt.Errorf("fault: timeline has no pool %d", alpha)
+	}
+	if at <= 0 {
+		return fmt.Errorf("fault: timeline step for pool %d at t=%d, want > 0", alpha, at)
+	}
+	if s := tl.steps[alpha]; len(s) > 0 && at <= s[len(s)-1].at {
+		return fmt.Errorf("fault: timeline steps for pool %d not strictly increasing at t=%d", alpha, at)
+	}
+	if cap < 0 || cap > tl.base[alpha] {
+		return fmt.Errorf("fault: pool %d capacity %d outside [0, %d]", alpha, cap, tl.base[alpha])
+	}
+	tl.steps[alpha] = append(tl.steps[alpha], step{at: at, cap: cap})
+	i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] >= at })
+	if i == len(tl.times) || tl.times[i] != at {
+		tl.times = append(tl.times, 0)
+		copy(tl.times[i+1:], tl.times[i:])
+		tl.times[i] = at
+	}
+	return nil
+}
+
+// MustSet is Set for statically known steps; it panics on error.
+func (tl *Timeline) MustSet(alpha dag.Type, at int64, cap int) {
+	if err := tl.Set(alpha, at, cap); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks the timeline against a machine's base pool sizes: it
+// must have been built for the same machine, and every pool must end
+// with at least one processor so runs can always finish.
+func (tl *Timeline) Validate(procs []int) error {
+	if len(tl.base) != len(procs) {
+		return fmt.Errorf("fault: timeline covers %d pools, machine has %d", len(tl.base), len(procs))
+	}
+	for a, p := range procs {
+		if tl.base[a] != p {
+			return fmt.Errorf("fault: timeline base for pool %d is %d, machine has %d", a, tl.base[a], p)
+		}
+		if c := tl.FinalCap(dag.Type(a)); c < 1 {
+			return fmt.Errorf("fault: pool %d ends with capacity %d, want >= 1 (runs could never finish)", a, c)
+		}
+	}
+	return nil
+}
+
+// CapAt returns pool alpha's capacity at time t.
+func (tl *Timeline) CapAt(alpha dag.Type, t int64) int {
+	s := tl.steps[alpha]
+	// Last step with at <= t; base capacity before the first step.
+	i := sort.Search(len(s), func(i int) bool { return s[i].at > t })
+	if i == 0 {
+		return tl.base[alpha]
+	}
+	return s[i-1].cap
+}
+
+// FinalCap returns pool alpha's capacity after the last breakpoint.
+func (tl *Timeline) FinalCap(alpha dag.Type) int {
+	if s := tl.steps[alpha]; len(s) > 0 {
+		return s[len(s)-1].cap
+	}
+	return tl.base[alpha]
+}
+
+// NextChangeAfter returns the earliest breakpoint time of any pool
+// strictly after t, or -1 if the timeline never changes again.
+func (tl *Timeline) NextChangeAfter(t int64) int64 {
+	i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t })
+	if i == len(tl.times) {
+		return -1
+	}
+	return tl.times[i]
+}
+
+// Times returns every breakpoint time, sorted ascending. The slice is
+// a view; callers must not modify it.
+func (tl *Timeline) Times() []int64 { return tl.times }
+
+// End returns the last breakpoint time (0 for a constant timeline).
+func (tl *Timeline) End() int64 {
+	if len(tl.times) == 0 {
+		return 0
+	}
+	return tl.times[len(tl.times)-1]
+}
+
+// CapIntegral returns ∫₀ᵀ Pα(t) dt: the total processor-time pool
+// alpha offered up to time upTo. It is the utilization denominator for
+// faulty runs and an upper bound on the pool's busy time.
+func (tl *Timeline) CapIntegral(alpha dag.Type, upTo int64) int64 {
+	var total int64
+	prev, cap := int64(0), tl.base[alpha]
+	for _, s := range tl.steps[alpha] {
+		if s.at >= upTo {
+			break
+		}
+		total += int64(cap) * (s.at - prev)
+		prev, cap = s.at, s.cap
+	}
+	if upTo > prev {
+		total += int64(cap) * (upTo - prev)
+	}
+	return total
+}
+
+// Config describes a fault distribution; NewPlan instantiates it into
+// the concrete Plan for one run. The zero value injects nothing.
+type Config struct {
+	// MTTF is the mean time to failure of one processor; 0 disables
+	// crashes. MTTR is the mean time to repair; required when MTTF > 0.
+	// Up- and downtimes are drawn exponentially per processor.
+	MTTF, MTTR float64
+
+	// Horizon bounds the generated churn: past it every processor is
+	// repaired and stays up, so runs always terminate. Required when
+	// MTTF > 0.
+	Horizon int64
+
+	// FailureProb is the transient completion-failure probability.
+	FailureProb float64
+
+	// MaxRetries is the per-task retry budget of generated plans.
+	MaxRetries int
+}
+
+// Active reports whether the distribution injects any faults.
+func (c *Config) Active() bool {
+	return c != nil && (c.MTTF > 0 || c.FailureProb > 0)
+}
+
+// Validate reports malformed distributions eagerly.
+func (c *Config) Validate() error {
+	if c.MTTF < 0 || math.IsNaN(c.MTTF) {
+		return fmt.Errorf("fault: MTTF %g, want >= 0", c.MTTF)
+	}
+	if c.MTTF > 0 {
+		if c.MTTR <= 0 || math.IsNaN(c.MTTR) {
+			return fmt.Errorf("fault: MTTR %g, want > 0 when MTTF > 0", c.MTTR)
+		}
+		if c.Horizon <= 0 {
+			return fmt.Errorf("fault: horizon %d, want > 0 when MTTF > 0", c.Horizon)
+		}
+	}
+	if c.FailureProb < 0 || c.FailureProb > 1 || math.IsNaN(c.FailureProb) {
+		return fmt.Errorf("fault: failure probability %g outside [0, 1]", c.FailureProb)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", c.MaxRetries)
+	}
+	return nil
+}
+
+// NewPlan draws one concrete fault plan for a machine from the
+// distribution. Every processor alternates exponentially distributed
+// up/down periods (mean MTTF and MTTR, at least one time unit each)
+// until Horizon, after which it stays up; the coin seed is drawn from
+// rng, so the whole plan derives from the caller's seed stream.
+func (c *Config) NewPlan(procs []int, rng *rand.Rand) *Plan {
+	plan := &Plan{FailureProb: c.FailureProb, MaxRetries: c.MaxRetries, Seed: rng.Int63()}
+	if c.MTTF <= 0 {
+		return plan
+	}
+	type transition struct {
+		at    int64
+		delta int // -1 crash, +1 repair
+	}
+	duration := func(mean float64) int64 {
+		d := int64(math.Ceil(rng.ExpFloat64() * mean))
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	tl := NewTimeline(procs)
+	for a := range procs {
+		var ts []transition
+		for unit := 0; unit < procs[a]; unit++ {
+			t, up := int64(0), true
+			for {
+				if up {
+					t += duration(c.MTTF)
+				} else {
+					t += duration(c.MTTR)
+				}
+				if t >= c.Horizon {
+					if !up {
+						// The unit is down at the horizon: repair it there.
+						ts = append(ts, transition{at: c.Horizon, delta: +1})
+					}
+					break
+				}
+				if up {
+					ts = append(ts, transition{at: t, delta: -1})
+				} else {
+					ts = append(ts, transition{at: t, delta: +1})
+				}
+				up = !up
+			}
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].at < ts[j].at })
+		cap := procs[a]
+		for i := 0; i < len(ts); {
+			at := ts[i].at
+			for i < len(ts) && ts[i].at == at {
+				cap += ts[i].delta
+				i++
+			}
+			tl.MustSet(dag.Type(a), at, cap)
+		}
+	}
+	if len(tl.times) > 0 {
+		plan.Timeline = tl
+	}
+	return plan
+}

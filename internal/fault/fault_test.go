@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fhs/internal/dag"
+)
+
+func TestTimelineCapAt(t *testing.T) {
+	tl := NewTimeline([]int{3, 2})
+	tl.MustSet(0, 5, 1)
+	tl.MustSet(0, 9, 3)
+	tl.MustSet(1, 7, 0)
+	tl.MustSet(1, 8, 2)
+
+	cases := []struct {
+		alpha dag.Type
+		t     int64
+		want  int
+	}{
+		{0, 0, 3}, {0, 4, 3}, {0, 5, 1}, {0, 8, 1}, {0, 9, 3}, {0, 100, 3},
+		{1, 0, 2}, {1, 6, 2}, {1, 7, 0}, {1, 8, 2},
+	}
+	for _, c := range cases {
+		if got := tl.CapAt(c.alpha, c.t); got != c.want {
+			t.Errorf("CapAt(%d, %d) = %d, want %d", c.alpha, c.t, got, c.want)
+		}
+	}
+	if got := tl.End(); got != 9 {
+		t.Errorf("End() = %d, want 9", got)
+	}
+	if got := tl.NextChangeAfter(0); got != 5 {
+		t.Errorf("NextChangeAfter(0) = %d, want 5", got)
+	}
+	if got := tl.NextChangeAfter(5); got != 7 {
+		t.Errorf("NextChangeAfter(5) = %d, want 7", got)
+	}
+	if got := tl.NextChangeAfter(9); got != -1 {
+		t.Errorf("NextChangeAfter(9) = %d, want -1", got)
+	}
+}
+
+func TestTimelineCapIntegral(t *testing.T) {
+	tl := NewTimeline([]int{2})
+	tl.MustSet(0, 3, 1)
+	tl.MustSet(0, 5, 2)
+	// [0,3): 2, [3,5): 1, [5,∞): 2.
+	cases := []struct {
+		upTo int64
+		want int64
+	}{
+		{0, 0}, {1, 2}, {3, 6}, {4, 7}, {5, 8}, {9, 16},
+	}
+	for _, c := range cases {
+		if got := tl.CapIntegral(0, c.upTo); got != c.want {
+			t.Errorf("CapIntegral(0, %d) = %d, want %d", c.upTo, got, c.want)
+		}
+	}
+}
+
+func TestTimelineSetErrors(t *testing.T) {
+	tl := NewTimeline([]int{2})
+	if err := tl.Set(1, 1, 1); err == nil {
+		t.Error("Set on missing pool: want error")
+	}
+	if err := tl.Set(0, 0, 1); err == nil {
+		t.Error("Set at t=0: want error")
+	}
+	if err := tl.Set(0, 4, 3); err == nil {
+		t.Error("Set above base capacity: want error")
+	}
+	tl.MustSet(0, 4, 1)
+	if err := tl.Set(0, 4, 2); err == nil {
+		t.Error("Set at non-increasing time: want error")
+	}
+}
+
+func TestTimelineValidate(t *testing.T) {
+	tl := NewTimeline([]int{2})
+	tl.MustSet(0, 4, 0)
+	if err := tl.Validate([]int{2}); err == nil || !strings.Contains(err.Error(), "capacity 0") {
+		t.Errorf("timeline ending at 0 capacity: got %v, want final-capacity error", err)
+	}
+	tl.MustSet(0, 6, 1)
+	if err := tl.Validate([]int{2}); err != nil {
+		t.Errorf("repaired timeline: %v", err)
+	}
+	if err := tl.Validate([]int{3}); err == nil {
+		t.Error("base mismatch: want error")
+	}
+	if err := tl.Validate([]int{2, 2}); err == nil {
+		t.Error("K mismatch: want error")
+	}
+}
+
+func TestPlanFailsCompletionDeterministic(t *testing.T) {
+	p := &Plan{FailureProb: 0.5, Seed: 42}
+	q := &Plan{FailureProb: 0.5, Seed: 42}
+	hits := 0
+	for id := dag.TaskID(0); id < 200; id++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a, b := p.FailsCompletion(id, attempt), q.FailsCompletion(id, attempt)
+			if a != b {
+				t.Fatalf("coin (%d, %d) not deterministic", id, attempt)
+			}
+			if a {
+				hits++
+			}
+		}
+	}
+	// 800 coins at p=0.5: a hash this far off 400 would be broken.
+	if hits < 300 || hits > 500 {
+		t.Errorf("coin rate %d/800 at p=0.5, want ~400", hits)
+	}
+	if (&Plan{FailureProb: 0, Seed: 42}).FailsCompletion(0, 0) {
+		t.Error("p=0 coin fired")
+	}
+	always := &Plan{FailureProb: 1, Seed: 42}
+	for id := dag.TaskID(0); id < 50; id++ {
+		if !always.FailsCompletion(id, 0) {
+			t.Fatalf("p=1 coin did not fire for task %d", id)
+		}
+	}
+}
+
+func TestPlanActiveAndValidate(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Error("nil plan active")
+	}
+	if err := nilPlan.Validate([]int{1}); err != nil {
+		t.Errorf("nil plan validate: %v", err)
+	}
+	if (&Plan{}).Active() {
+		t.Error("zero plan active")
+	}
+	if !(&Plan{FailureProb: 0.1}).Active() {
+		t.Error("failure-prob plan inactive")
+	}
+	tl := NewTimeline([]int{1})
+	if (&Plan{Timeline: tl}).Active() {
+		t.Error("constant timeline counted as active")
+	}
+	tl.MustSet(0, 2, 0)
+	tl.MustSet(0, 3, 1)
+	if !(&Plan{Timeline: tl}).Active() {
+		t.Error("stepped timeline inactive")
+	}
+	if err := (&Plan{FailureProb: 1.5}).Validate([]int{1}); err == nil {
+		t.Error("probability > 1: want error")
+	}
+	if err := (&Plan{MaxRetries: -1}).Validate([]int{1}); err == nil {
+		t.Error("negative retries: want error")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{FailureProb: 0.5, MaxRetries: 3},
+		{MTTF: 100, MTTR: 10, Horizon: 1000},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{MTTF: -1},
+		{MTTF: 100},                          // missing MTTR
+		{MTTF: 100, MTTR: 10},                // missing Horizon
+		{FailureProb: 2},                     // prob out of range
+		{FailureProb: 0.5, MaxRetries: -1},   // negative budget
+		{MTTF: 100, MTTR: -5, Horizon: 1000}, // negative MTTR
+		{MTTF: 100, MTTR: 10, Horizon: -1},   // negative horizon
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestConfigNewPlanDeterministicAndValid(t *testing.T) {
+	c := Config{MTTF: 50, MTTR: 20, Horizon: 500, FailureProb: 0.1, MaxRetries: 5}
+	procs := []int{3, 1, 4}
+
+	p1 := c.NewPlan(procs, rand.New(rand.NewSource(7)))
+	p2 := c.NewPlan(procs, rand.New(rand.NewSource(7)))
+	if p1.Seed != p2.Seed {
+		t.Fatal("plan seed not deterministic")
+	}
+	if p1.Timeline == nil || p2.Timeline == nil {
+		t.Fatal("churn config produced no timeline")
+	}
+	t1, t2 := p1.Timeline, p2.Timeline
+	if len(t1.times) != len(t2.times) {
+		t.Fatalf("breakpoint counts differ: %d vs %d", len(t1.times), len(t2.times))
+	}
+	for a := range procs {
+		for _, bt := range t1.times {
+			if t1.CapAt(dag.Type(a), bt) != t2.CapAt(dag.Type(a), bt) {
+				t.Fatalf("capacities differ at pool %d t=%d", a, bt)
+			}
+		}
+	}
+
+	// Generated plans are always valid for their machine and terminate:
+	// every pool is fully repaired at/after the horizon.
+	for seed := int64(0); seed < 20; seed++ {
+		p := c.NewPlan(procs, rand.New(rand.NewSource(seed)))
+		if err := p.Validate(procs); err != nil {
+			t.Fatalf("seed %d: generated plan invalid: %v", seed, err)
+		}
+		if p.Timeline == nil {
+			continue
+		}
+		if end := p.Timeline.End(); end > c.Horizon {
+			t.Fatalf("seed %d: timeline extends to %d past horizon %d", seed, end, c.Horizon)
+		}
+		for a := range procs {
+			if got := p.Timeline.FinalCap(dag.Type(a)); got != procs[a] {
+				t.Fatalf("seed %d: pool %d ends at capacity %d, want full repair to %d", seed, a, got, procs[a])
+			}
+			for _, bt := range p.Timeline.Times() {
+				if cap := p.Timeline.CapAt(dag.Type(a), bt); cap < 0 || cap > procs[a] {
+					t.Fatalf("seed %d: pool %d capacity %d at t=%d outside [0, %d]", seed, a, cap, bt, procs[a])
+				}
+			}
+		}
+	}
+}
+
+func TestConfigNewPlanNoChurn(t *testing.T) {
+	c := Config{FailureProb: 0.3, MaxRetries: 2}
+	p := c.NewPlan([]int{2, 2}, rand.New(rand.NewSource(1)))
+	if p.Timeline != nil {
+		t.Error("MTTF=0 config produced a timeline")
+	}
+	if !p.Active() {
+		t.Error("failure-only plan inactive")
+	}
+	if p.FailureProb != 0.3 || p.MaxRetries != 2 {
+		t.Error("plan did not carry config fields")
+	}
+}

@@ -44,6 +44,24 @@ func Ratio(completion int64, lowerBound float64) float64 {
 	return float64(completion) / lowerBound
 }
 
+// WastedFraction returns the share of total busy processor-time that
+// fault injection discarded: Σα wasted[α] / Σα busy[α]. It is the
+// robustness study's wasted-work measure; 0 covers both reliable runs
+// (nil or all-zero wasted) and empty jobs.
+func WastedFraction(wasted, busy []int64) float64 {
+	var w, b int64
+	for _, v := range wasted {
+		w += v
+	}
+	for _, v := range busy {
+		b += v
+	}
+	if w == 0 || b == 0 {
+		return 0
+	}
+	return float64(w) / float64(b)
+}
+
 // WorkPerProcessor returns the per-type work-per-processor ratios
 // T1(J,α)/Pα used by the skewed-load study (Section V-E).
 func WorkPerProcessor(g *dag.Graph, procs []int) ([]float64, error) {

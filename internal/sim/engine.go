@@ -3,8 +3,10 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 )
 
 // Run simulates g on the machine described by cfg under scheduler s
@@ -47,9 +49,19 @@ func Run(g *dag.Graph, s Scheduler, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// timeline extracts the capacity timeline from a config, nil when the
+// machine is reliable or capacity is constant.
+func timeline(cfg *Config) *fault.Timeline {
+	if cfg.Faults == nil {
+		return nil
+	}
+	return cfg.Faults.Timeline
+}
+
 // runningTask is a heap entry for the non-preemptive engine.
 type runningTask struct {
 	finish int64
+	start  int64
 	id     dag.TaskID
 }
 
@@ -76,8 +88,13 @@ func (h *runningHeap) Pop() interface{} {
 
 func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 	st := newState(g, cfg)
-	res := Result{BusyTime: make([]int64, g.K())}
-	idle := append([]int(nil), cfg.Procs...)
+	res := Result{BusyTime: make([]int64, g.K()), WastedWork: make([]int64, g.K())}
+	tl := timeline(cfg)
+	// runBusy[α] counts occupied processors; idle capacity is
+	// cap[α]-runBusy[α]. Tracking the busy side (rather than the idle
+	// side, as the fault-free engine did) survives capacity changes
+	// under a running load.
+	runBusy := make([]int, g.K())
 	var running runningHeap
 
 	n := g.NumTasks()
@@ -88,7 +105,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		// as assignments land.
 		for a := 0; a < g.K(); a++ {
 			alpha := dag.Type(a)
-			for idle[a] > 0 && st.QueueLen(alpha) > 0 {
+			for runBusy[a] < st.cap[a] && st.QueueLen(alpha) > 0 {
 				id, ok := s.Pick(st, alpha)
 				if !ok {
 					break
@@ -96,65 +113,141 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				if g.Task(id).Type != alpha || !st.dequeue(id) {
 					return res, fmt.Errorf("sim: scheduler %s picked task %d which is not ready on pool %d", s.Name(), id, a)
 				}
-				idle[a]--
+				runBusy[a]++
 				res.Decisions++
-				heap.Push(&running, runningTask{finish: st.now + st.remaining[id], id: id})
+				heap.Push(&running, runningTask{finish: st.now + st.remaining[id], start: st.now, id: id})
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
 				}
 			}
 		}
-		if running.Len() == 0 {
+		// Advance to the next event: the earliest completion or the next
+		// capacity breakpoint, whichever comes first. With nothing
+		// running, a pending breakpoint still counts — crashed pools may
+		// recover and unblock the schedule.
+		next := int64(-1)
+		if running.Len() > 0 {
+			next = running[0].finish
+		}
+		nextChange := int64(-1)
+		if tl != nil {
+			nextChange = tl.NextChangeAfter(st.now)
+		}
+		if nextChange >= 0 && (next < 0 || nextChange < next) {
+			next = nextChange
+		}
+		if next < 0 {
 			if st.nCompleted < n {
 				return res, fmt.Errorf("sim: scheduler %s stalled at t=%d with %d/%d tasks complete", s.Name(), st.now, st.nCompleted, n)
 			}
 			break
 		}
-		// Completion phase: advance to the earliest finish and retire
-		// every task finishing at that instant.
-		t := running[0].finish
-		if cfg.MaxTime > 0 && t > cfg.MaxTime {
+		if cfg.MaxTime > 0 && next > cfg.MaxTime {
 			return res, fmt.Errorf("sim: clock %d exceeds MaxTime=%d under scheduler %s (%d/%d tasks complete)",
-				t, cfg.MaxTime, s.Name(), st.nCompleted, n)
+				next, cfg.MaxTime, s.Name(), st.nCompleted, n)
 		}
+		t := next
 		st.now = t
+		// Completion phase: retire every task finishing at this instant.
+		// A completion may fail transiently (the seeded coin), in which
+		// case the whole execution is wasted and the task re-enters its
+		// ready queue with full work.
+		requeued := false
 		for running.Len() > 0 && running[0].finish == t {
 			rt := heap.Pop(&running).(runningTask)
 			alpha := g.Task(rt.id).Type
-			res.BusyTime[alpha] += st.remaining[rt.id]
+			work := st.remaining[rt.id]
+			res.BusyTime[alpha] += work
+			runBusy[alpha]--
+			if cfg.Faults.FailsCompletion(rt.id, st.attempts[rt.id]) {
+				res.WastedWork[alpha] += work
+				res.Failures++
+				if err := st.retry(rt.id); err != nil {
+					return res, err
+				}
+				requeued = true
+				if cfg.CollectTrace {
+					res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventFail})
+				}
+				continue
+			}
 			st.remaining[rt.id] = 0
-			idle[alpha]++
 			st.complete(rt.id, nil)
 			if cfg.CollectTrace {
 				res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventFinish})
 			}
 		}
+		// Capacity phase: apply breakpoints landing at this instant. A
+		// pool dropping below its occupancy crashes processors; the
+		// victims — resident tasks with the most remaining work, ties to
+		// the highest ID — lose all progress and are re-enqueued.
+		if tl != nil && nextChange == t {
+			for a := 0; a < g.K(); a++ {
+				alpha := dag.Type(a)
+				st.cap[a] = tl.CapAt(alpha, t)
+				for runBusy[a] > st.cap[a] {
+					victim := -1
+					for i := range running {
+						if g.Task(running[i].id).Type != alpha {
+							continue
+						}
+						if victim < 0 || running[i].finish > running[victim].finish ||
+							(running[i].finish == running[victim].finish && running[i].id > running[victim].id) {
+							victim = i
+						}
+					}
+					rt := heap.Remove(&running, victim).(runningTask)
+					elapsed := t - rt.start
+					res.BusyTime[alpha] += elapsed
+					res.WastedWork[alpha] += elapsed
+					res.Kills++
+					runBusy[a]--
+					if err := st.retry(rt.id); err != nil {
+						return res, err
+					}
+					requeued = true
+					if cfg.CollectTrace {
+						res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventKill})
+					}
+				}
+			}
+		}
+		if requeued {
+			st.sortQueues()
+		}
 	}
 	res.CompletionTime = st.now
-	res.Utilization = utilization(res.BusyTime, cfg.Procs, st.now)
+	res.Utilization = utilization(res.BusyTime, cfg, st.now)
 	return res, nil
 }
 
 func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 	st := newState(g, cfg)
-	res := Result{BusyTime: make([]int64, g.K())}
+	res := Result{BusyTime: make([]int64, g.K()), WastedWork: make([]int64, g.K())}
+	tl := timeline(cfg)
 	quantum := cfg.Quantum
 	if quantum <= 0 {
 		quantum = 1
 	}
 	n := g.NumTasks()
 	assigned := make([]dag.TaskID, 0, 64)
+	still := make([][]dag.TaskID, g.K())
 	for st.nCompleted < n {
 		if cfg.MaxTime > 0 && st.now > cfg.MaxTime {
 			return res, fmt.Errorf("sim: clock %d exceeds MaxTime=%d under scheduler %s (%d/%d tasks complete)",
 				st.now, cfg.MaxTime, s.Name(), st.nCompleted, n)
+		}
+		if tl != nil {
+			for a := range st.cap {
+				st.cap[a] = tl.CapAt(dag.Type(a), st.now)
+			}
 		}
 		// Every processor is reassignable at a quantum boundary: all
 		// unfinished tasks are in the ready queues at this point.
 		assigned = assigned[:0]
 		for a := 0; a < g.K(); a++ {
 			alpha := dag.Type(a)
-			for p := 0; p < cfg.Procs[a] && st.QueueLen(alpha) > 0; p++ {
+			for p := 0; p < st.cap[a] && st.QueueLen(alpha) > 0; p++ {
 				id, ok := s.Pick(st, alpha)
 				if !ok {
 					break
@@ -170,50 +263,130 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 			}
 		}
 		if len(assigned) == 0 {
+			// Fully crashed pools can idle the whole machine; sleep until
+			// the next capacity change instead of declaring a stall.
+			if tl != nil {
+				if nc := tl.NextChangeAfter(st.now); nc >= 0 {
+					st.now = nc
+					continue
+				}
+			}
 			return res, fmt.Errorf("sim: scheduler %s stalled at t=%d with %d/%d tasks complete", s.Name(), st.now, st.nCompleted, n)
 		}
-		// Run the quantum, shortened so no task overshoots completion.
+		// Run the quantum, shortened so no task overshoots completion and
+		// no interval spans a capacity breakpoint (a crash mid-quantum
+		// must only cost the work since the last boundary).
 		step := quantum
 		for _, id := range assigned {
 			if r := st.remaining[id]; r < step {
 				step = r
 			}
 		}
+		if tl != nil {
+			if nc := tl.NextChangeAfter(st.now); nc >= 0 && nc-st.now < step {
+				step = nc - st.now
+			}
+		}
 		st.now += step
 		requeued := false
+		for a := range still {
+			still[a] = still[a][:0]
+		}
 		for _, id := range assigned {
 			alpha := g.Task(id).Type
 			st.remaining[id] -= step
 			res.BusyTime[alpha] += step
-			if st.remaining[id] == 0 {
-				st.complete(id, nil)
-				if cfg.CollectTrace {
-					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventFinish})
+			if st.remaining[id] > 0 {
+				still[alpha] = append(still[alpha], id)
+				continue
+			}
+			if cfg.Faults.FailsCompletion(id, st.attempts[id]) {
+				work := g.Task(id).Work
+				st.remaining[id] = work
+				res.WastedWork[alpha] += work
+				res.Failures++
+				if err := st.retry(id); err != nil {
+					return res, err
 				}
-			} else {
-				st.enqueue(id)
 				requeued = true
+				if cfg.CollectTrace {
+					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventFail})
+				}
+				continue
+			}
+			st.complete(id, nil)
+			if cfg.CollectTrace {
+				res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventFinish})
+			}
+		}
+		// Unfinished tasks rejoin their queues. If a pool's capacity
+		// dropped at the boundary we just hit, the excess tasks — most
+		// remaining work first, ties to the highest ID — are crash
+		// victims and lose the quantum they just ran.
+		for a := range still {
+			if len(still[a]) == 0 {
+				continue
+			}
+			alpha := dag.Type(a)
+			capEnd := cfg.Procs[a]
+			if tl != nil {
+				capEnd = tl.CapAt(alpha, st.now)
+			}
+			d := len(still[a]) - capEnd
+			if d > 0 {
+				sort.Slice(still[a], func(i, j int) bool {
+					ti, tj := still[a][i], still[a][j]
+					if st.remaining[ti] != st.remaining[tj] {
+						return st.remaining[ti] > st.remaining[tj]
+					}
+					return ti > tj
+				})
+			}
+			for i, id := range still[a] {
+				if i < d {
+					st.remaining[id] += step
+					res.WastedWork[alpha] += step
+					res.Kills++
+					if err := st.retry(id); err != nil {
+						return res, err
+					}
+					if cfg.CollectTrace {
+						res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventKill})
+					}
+					continue
+				}
+				st.enqueue(id)
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventPreempt})
 				}
 			}
+			requeued = true
 		}
 		if requeued {
 			st.sortQueues()
 		}
 	}
 	res.CompletionTime = st.now
-	res.Utilization = utilization(res.BusyTime, cfg.Procs, st.now)
+	res.Utilization = utilization(res.BusyTime, cfg, st.now)
 	return res, nil
 }
 
-func utilization(busy []int64, procs []int, makespan int64) []float64 {
+// utilization divides busy time by the capacity each pool actually
+// offered: ∫Pα(t)dt under a fault timeline, Pα·T otherwise.
+func utilization(busy []int64, cfg *Config, makespan int64) []float64 {
 	u := make([]float64, len(busy))
 	if makespan == 0 {
 		return u
 	}
+	tl := timeline(cfg)
 	for a := range busy {
-		u[a] = float64(busy[a]) / (float64(procs[a]) * float64(makespan))
+		denom := float64(cfg.Procs[a]) * float64(makespan)
+		if tl != nil {
+			denom = float64(tl.CapIntegral(dag.Type(a), makespan))
+		}
+		if denom > 0 {
+			u[a] = float64(busy[a]) / denom
+		}
 	}
 	return u
 }

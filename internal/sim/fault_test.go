@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fhs/internal/dag"
+	"fhs/internal/fault"
+)
+
+// twoTasks is the shared crash-golden instance: one pool of 2
+// processors that loses a processor at t=3 and recovers at t=5, with
+// two independent tasks A=0 (work 5) and B=1 (work 4).
+func twoTasks(t *testing.T) (*dag.Graph, *fault.Plan) {
+	t.Helper()
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 5)
+	b.AddTask(0, 4)
+	g := b.MustBuild()
+	tl := fault.NewTimeline([]int{2})
+	tl.MustSet(0, 3, 1)
+	tl.MustSet(0, 5, 2)
+	return g, &fault.Plan{Timeline: tl, MaxRetries: 3}
+}
+
+// TestCrashGoldenNonPreemptive pins the non-preemptive crash
+// semantics: the victim is the resident task with the most remaining
+// work, it loses all progress, and it restarts once a processor frees.
+func TestCrashGoldenNonPreemptive(t *testing.T) {
+	g, plan := twoTasks(t)
+	res, err := Run(g, fifo{}, Config{Procs: []int{2}, Faults: plan, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both start at 0; the crash at t=3 kills A (finish 5 vs B's 4), B
+	// finishes at 4 freeing the surviving processor, A reruns [4, 9).
+	want := []Event{
+		{Time: 0, Task: 0, Type: 0, Kind: EventStart},
+		{Time: 0, Task: 1, Type: 0, Kind: EventStart},
+		{Time: 3, Task: 0, Type: 0, Kind: EventKill},
+		{Time: 4, Task: 1, Type: 0, Kind: EventFinish},
+		{Time: 4, Task: 0, Type: 0, Kind: EventStart},
+		{Time: 9, Task: 0, Type: 0, Kind: EventFinish},
+	}
+	if !reflect.DeepEqual(res.Trace, want) {
+		t.Errorf("trace = %v, want %v", res.Trace, want)
+	}
+	if res.CompletionTime != 9 {
+		t.Errorf("completion = %d, want 9", res.CompletionTime)
+	}
+	if res.BusyTime[0] != 12 || res.WastedWork[0] != 3 {
+		t.Errorf("busy = %v wasted = %v, want [12] [3]", res.BusyTime, res.WastedWork)
+	}
+	if res.Kills != 1 || res.Failures != 0 {
+		t.Errorf("kills = %d failures = %d, want 1 0", res.Kills, res.Failures)
+	}
+}
+
+// TestCrashGoldenPreemptive pins the preemptive crash semantics: the
+// quantum is capped at the breakpoint, and the victim loses only the
+// interval it just ran.
+func TestCrashGoldenPreemptive(t *testing.T) {
+	g, plan := twoTasks(t)
+	res, err := Run(g, fifo{}, Config{Procs: []int{2}, Preemptive: true, Quantum: 2, Faults: plan, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,2) both run; [2,3) capped by the breakpoint, the crash kills A
+	// (more remaining) which loses just that unit; [3,5) A alone on the
+	// surviving processor; [5,6) both finish on the recovered pool.
+	if res.CompletionTime != 6 {
+		t.Errorf("completion = %d, want 6", res.CompletionTime)
+	}
+	if res.BusyTime[0] != 10 || res.WastedWork[0] != 1 {
+		t.Errorf("busy = %v wasted = %v, want [10] [1]", res.BusyTime, res.WastedWork)
+	}
+	if res.Kills != 1 || res.Failures != 0 {
+		t.Errorf("kills = %d failures = %d, want 1 0", res.Kills, res.Failures)
+	}
+	kills := 0
+	for _, e := range res.Trace {
+		if e.Kind == EventKill {
+			kills++
+			if e.Time != 3 || e.Task != 0 {
+				t.Errorf("kill event %+v, want task 0 at t=3", e)
+			}
+		}
+	}
+	if kills != 1 {
+		t.Errorf("%d kill events traced, want 1", kills)
+	}
+}
+
+// TestTransientFailureGolden pins the completion-failure path: a seed
+// chosen so task 0's first attempt fails and its second passes makes
+// the task run exactly twice.
+func TestTransientFailureGolden(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 3)
+	g := b.MustBuild()
+	plan := &fault.Plan{FailureProb: 0.5, MaxRetries: 3}
+	for seed := int64(0); ; seed++ {
+		plan.Seed = seed
+		if plan.FailsCompletion(0, 0) && !plan.FailsCompletion(0, 1) {
+			break
+		}
+		if seed > 1000 {
+			t.Fatal("no seed with fail-then-pass coin in 1000 tries")
+		}
+	}
+	for _, preemptive := range []bool{false, true} {
+		res, err := Run(g, fifo{}, Config{Procs: []int{1}, Preemptive: preemptive, Faults: plan, CollectTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompletionTime != 6 {
+			t.Errorf("preemptive=%v: completion = %d, want 6", preemptive, res.CompletionTime)
+		}
+		if res.BusyTime[0] != 6 || res.WastedWork[0] != 3 {
+			t.Errorf("preemptive=%v: busy = %v wasted = %v, want [6] [3]", preemptive, res.BusyTime, res.WastedWork)
+		}
+		if res.Failures != 1 || res.Kills != 0 {
+			t.Errorf("preemptive=%v: failures = %d kills = %d, want 1 0", preemptive, res.Failures, res.Kills)
+		}
+		fails := 0
+		for _, e := range res.Trace {
+			if e.Kind == EventFail {
+				fails++
+				if e.Time != 3 || e.Task != 0 {
+					t.Errorf("preemptive=%v: fail event %+v, want task 0 at t=3", preemptive, e)
+				}
+			}
+		}
+		if fails != 1 {
+			t.Errorf("preemptive=%v: %d fail events traced, want 1", preemptive, fails)
+		}
+	}
+}
+
+// TestRetryBudgetExhaustion proves both engines abort with a clear
+// error once a task is re-enqueued past its budget.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 10)
+	g := b.MustBuild()
+	tl := fault.NewTimeline([]int{1})
+	tl.MustSet(0, 5, 0)
+	tl.MustSet(0, 6, 1)
+	tl.MustSet(0, 11, 0)
+	tl.MustSet(0, 12, 1)
+	plan := &fault.Plan{Timeline: tl, MaxRetries: 1}
+	for _, preemptive := range []bool{false, true} {
+		_, err := Run(g, fifo{}, Config{Procs: []int{1}, Preemptive: preemptive, Faults: plan})
+		if err == nil || !strings.Contains(err.Error(), "retry budget") {
+			t.Errorf("preemptive=%v: err = %v, want retry-budget error", preemptive, err)
+		}
+	}
+}
+
+// TestMaxTimeCoversCrashedPools proves a machine stuck at zero
+// capacity trips MaxTime in both engines instead of sleeping to a
+// distant repair.
+func TestMaxTimeCoversCrashedPools(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 5)
+	g := b.MustBuild()
+	tl := fault.NewTimeline([]int{1})
+	tl.MustSet(0, 1, 0)
+	tl.MustSet(0, 1000, 1)
+	plan := &fault.Plan{Timeline: tl, MaxRetries: 5}
+	for _, preemptive := range []bool{false, true} {
+		_, err := Run(g, fifo{}, Config{Procs: []int{1}, Preemptive: preemptive, Faults: plan, MaxTime: 100})
+		if err == nil || !strings.Contains(err.Error(), "MaxTime") {
+			t.Errorf("preemptive=%v: err = %v, want MaxTime error", preemptive, err)
+		}
+	}
+}
+
+// TestCrashRecoveryUnblocksRun is the flip side: with no MaxTime the
+// engines sleep through a dead machine to the repair and complete.
+func TestCrashRecoveryUnblocksRun(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 5)
+	g := b.MustBuild()
+	tl := fault.NewTimeline([]int{1})
+	tl.MustSet(0, 1, 0)
+	tl.MustSet(0, 50, 1)
+	plan := &fault.Plan{Timeline: tl, MaxRetries: 5}
+	for _, preemptive := range []bool{false, true} {
+		res, err := Run(g, fifo{}, Config{Procs: []int{1}, Preemptive: preemptive, Faults: plan})
+		if err != nil {
+			t.Fatalf("preemptive=%v: %v", preemptive, err)
+		}
+		// Killed at t=1 with 1 unit of loss at most, restarted at the
+		// t=50 repair, done at 55.
+		if res.CompletionTime != 55 {
+			t.Errorf("preemptive=%v: completion = %d, want 55", preemptive, res.CompletionTime)
+		}
+	}
+}
+
+// TestLiveCapacityVisibleToSchedulers verifies State.Procs tracks the
+// timeline, which is what lets MQB rebalance under churn.
+func TestLiveCapacityVisibleToSchedulers(t *testing.T) {
+	g := mustChain(t, 1, []int64{4, 4}, []dag.Type{0, 0})
+	tl := fault.NewTimeline([]int{3})
+	tl.MustSet(0, 2, 1)
+	tl.MustSet(0, 6, 3)
+	plan := &fault.Plan{Timeline: tl, MaxRetries: 3}
+	seen := map[int64]int{}
+	probe := probeScheduler{seen: seen}
+	if _, err := Run(g, probe, Config{Procs: []int{3}, Preemptive: true, Faults: plan}); err != nil {
+		t.Fatal(err)
+	}
+	for now, procs := range seen {
+		if want := tl.CapAt(0, now); procs != want {
+			t.Errorf("scheduler saw Procs=%d at t=%d, timeline says %d", procs, now, want)
+		}
+	}
+}
+
+// probeScheduler records the live pool size at every Pick.
+type probeScheduler struct{ seen map[int64]int }
+
+func (probeScheduler) Name() string                     { return "probe" }
+func (probeScheduler) Prepare(*dag.Graph, Config) error { return nil }
+func (p probeScheduler) Pick(st *State, a dag.Type) (dag.TaskID, bool) {
+	p.seen[st.Now()] = st.Procs(a)
+	q := st.Ready(a)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	return q[0], true
+}
+
+// TestFaultRunsDeterministic re-runs a generated churn+failure plan
+// and demands bit-identical traces and results.
+func TestFaultRunsDeterministic(t *testing.T) {
+	cfgDist := fault.Config{MTTF: 30, MTTR: 10, Horizon: 300, FailureProb: 0.2, MaxRetries: 20}
+	for _, preemptive := range []bool{false, true} {
+		var first Result
+		for round := 0; round < 3; round++ {
+			rng := rand.New(rand.NewSource(99))
+			b := dag.NewBuilder(2)
+			for i := 0; i < 30; i++ {
+				b.AddTask(dag.Type(rng.Intn(2)), int64(1+rng.Intn(9)))
+			}
+			for i := 1; i < 30; i++ {
+				if rng.Intn(3) == 0 {
+					b.AddEdge(dag.TaskID(rng.Intn(i)), dag.TaskID(i))
+				}
+			}
+			g := b.MustBuild()
+			procs := []int{3, 2}
+			plan := cfgDist.NewPlan(procs, rng)
+			res, err := Run(g, fifo{}, Config{Procs: procs, Preemptive: preemptive, Faults: plan, CollectTrace: true})
+			if err != nil {
+				t.Fatalf("preemptive=%v round %d: %v", preemptive, round, err)
+			}
+			if round == 0 {
+				first = res
+				if res.Kills == 0 && res.Failures == 0 {
+					t.Fatalf("preemptive=%v: fault plan injected nothing; pick different parameters", preemptive)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res, first) {
+				t.Fatalf("preemptive=%v round %d: result differs from round 0", preemptive, round)
+			}
+		}
+	}
+}
+
+// TestInactivePlanMatchesFaultFree proves wiring a nil/inactive plan
+// changes nothing: same trace, same result as the fault-free engine.
+func TestInactivePlanMatchesFaultFree(t *testing.T) {
+	g := mustChain(t, 2, []int64{3, 5, 2}, []dag.Type{0, 1, 0})
+	for _, preemptive := range []bool{false, true} {
+		base, err := Run(g, fifo{}, Config{Procs: []int{2, 2}, Preemptive: preemptive, CollectTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, err := Run(g, fifo{}, Config{Procs: []int{2, 2}, Preemptive: preemptive, CollectTrace: true,
+			Faults: &fault.Plan{Timeline: fault.NewTimeline([]int{2, 2}), MaxRetries: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Trace, with.Trace) || base.CompletionTime != with.CompletionTime {
+			t.Errorf("preemptive=%v: inactive plan changed the schedule", preemptive)
+		}
+	}
+}
+
+// TestFaultConfigValidation exercises Config.Validate's fault checks.
+func TestFaultConfigValidation(t *testing.T) {
+	g := mustChain(t, 1, []int64{1}, []dag.Type{0})
+	tl := fault.NewTimeline([]int{2}) // machine below has 1 processor
+	tl.MustSet(0, 1, 1)
+	_, err := Run(g, fifo{}, Config{Procs: []int{1}, Faults: &fault.Plan{Timeline: tl}})
+	if err == nil || !strings.Contains(err.Error(), "timeline base") {
+		t.Errorf("mismatched timeline: err = %v, want timeline-base error", err)
+	}
+	_, err = Run(g, fifo{}, Config{Procs: []int{1}, Faults: &fault.Plan{FailureProb: 2}})
+	if err == nil || !strings.Contains(err.Error(), "probability") {
+		t.Errorf("bad probability: err = %v, want probability error", err)
+	}
+}

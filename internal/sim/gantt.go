@@ -14,13 +14,21 @@ import (
 // base-36 (looping after 36 tasks — the chart is a debugging aid, not
 // an identifier-preserving format). Idle time prints as '.'.
 //
+// Fault injection is visible in the chart: an execution interval that
+// was lost — its task crash-killed or failed transiently at completion
+// — ends in 'x' instead of its glyph, and while a processor is down
+// (cfg.Faults carries a capacity timeline) the surplus lanes print '#'
+// so outages read as hatched bands. cfg must be the config the
+// simulation ran under.
+//
 // The trace must have been collected with Config.CollectTrace. Width
 // caps the number of time columns (0 = 120); longer schedules are
 // truncated with a marker.
-func WriteGantt(w io.Writer, g *dag.Graph, res *Result, procs []int, width int) error {
+func WriteGantt(w io.Writer, g *dag.Graph, res *Result, cfg Config, width int) error {
 	if width <= 0 {
 		width = 120
 	}
+	procs := cfg.Procs
 	span := res.CompletionTime
 	truncated := false
 	if span > int64(width) {
@@ -29,10 +37,13 @@ func WriteGantt(w io.Writer, g *dag.Graph, res *Result, procs []int, width int) 
 	}
 
 	// Reconstruct per-task execution intervals from the trace. Under
-	// preemption a task has several intervals.
+	// preemption a task has several intervals; kills and transient
+	// failures close an interval just like preempt/finish but mark the
+	// work as lost.
 	type interval struct {
 		task       dag.TaskID
 		start, end int64
+		lost       bool
 	}
 	open := map[dag.TaskID]int64{}
 	byType := make(map[dag.Type][]interval)
@@ -40,13 +51,14 @@ func WriteGantt(w io.Writer, g *dag.Graph, res *Result, procs []int, width int) 
 		switch ev.Kind {
 		case EventStart:
 			open[ev.Task] = ev.Time
-		case EventPreempt, EventFinish:
+		case EventPreempt, EventFinish, EventKill, EventFail:
 			start, ok := open[ev.Task]
 			if !ok {
 				return fmt.Errorf("sim: trace has %v for task %d without a start", ev.Kind, ev.Task)
 			}
 			delete(open, ev.Task)
-			byType[ev.Type] = append(byType[ev.Type], interval{ev.Task, start, ev.Time})
+			lost := ev.Kind == EventKill || ev.Kind == EventFail
+			byType[ev.Type] = append(byType[ev.Type], interval{ev.Task, start, ev.Time, lost})
 		}
 	}
 	if len(open) > 0 {
@@ -90,6 +102,24 @@ func WriteGantt(w io.Writer, g *dag.Graph, res *Result, procs []int, width int) 
 			laneEnd[lane] = iv.end
 			for t := iv.start; t < iv.end && t < span; t++ {
 				lanes[lane][t] = glyph(iv.task)
+			}
+			if iv.lost && iv.end > iv.start && iv.end <= span {
+				lanes[lane][iv.end-1] = 'x'
+			}
+		}
+		// Crashed capacity: in every column exactly procs[a]-cap(t)
+		// idle cells turn into '#', taken from the top lanes so outages
+		// form contiguous bands (lanes are display artifacts, not
+		// physical units, so which idle cells hatch is a free choice).
+		if tl := timeline(&cfg); tl != nil {
+			for t := int64(0); t < span; t++ {
+				down := procs[a] - tl.CapAt(dag.Type(a), t)
+				for l := len(lanes) - 1; l >= 0 && down > 0; l-- {
+					if lanes[l][t] == '.' {
+						lanes[l][t] = '#'
+						down--
+					}
+				}
 			}
 		}
 		for l, lane := range lanes {

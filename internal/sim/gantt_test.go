@@ -16,7 +16,7 @@ func TestGanttChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+	if err := WriteGantt(&buf, g, &res, Config{Procs: procs}, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -43,7 +43,7 @@ func TestGanttParallelLanes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+	if err := WriteGantt(&buf, g, &res, Config{Procs: procs}, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +60,7 @@ func TestGanttTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteGantt(&buf, g, &res, procs, 10); err != nil {
+	if err := WriteGantt(&buf, g, &res, Config{Procs: procs}, 10); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "truncated") {
@@ -81,7 +81,7 @@ func TestGanttPreemptiveIntervals(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+	if err := WriteGantt(&buf, g, &res, Config{Procs: procs}, 0); err != nil {
 		t.Fatal(err)
 	}
 	row := buf.String()
@@ -101,10 +101,57 @@ func TestGanttRequiresTrace(t *testing.T) {
 	var buf bytes.Buffer
 	// Without a trace the chart renders all-idle lanes; that is not an
 	// error, but the lane must be empty.
-	if err := WriteGantt(&buf, g, &res, procs, 0); err != nil {
+	if err := WriteGantt(&buf, g, &res, Config{Procs: procs}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "|..|") {
 		t.Errorf("traceless chart should be idle:\n%s", buf.String())
+	}
+}
+
+func TestGanttMarksFaults(t *testing.T) {
+	g, plan := twoTasks(t)
+	cfg := Config{Procs: []int{2}, Faults: plan, CollectTrace: true}
+	res, err := Run(g, fifo{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, &res, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Task 0 runs [0,3) and is crash-killed ('x' closes the lost
+	// interval), the pool is one processor short during [3,5) ('#' on
+	// whichever lane is idle), and task 0 reruns [4,9).
+	if !strings.Contains(out, "|00x#00000|") {
+		t.Errorf("killed lane not rendered as |00x#00000|:\n%s", out)
+	}
+	if !strings.Contains(out, "|1111#....|") {
+		t.Errorf("outage lane not rendered as |1111#....|:\n%s", out)
+	}
+}
+
+func TestGanttMarksTransientFailure(t *testing.T) {
+	// A single unit task under FailureProb 1 would never finish; use a
+	// hand-built trace instead: run [0,2) fails, rerun [2,4) finishes.
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 2)
+	g := b.MustBuild()
+	res := Result{
+		CompletionTime: 4,
+		Trace: []Event{
+			{Time: 0, Task: 0, Type: 0, Kind: EventStart},
+			{Time: 2, Task: 0, Type: 0, Kind: EventFail},
+			{Time: 2, Task: 0, Type: 0, Kind: EventStart},
+			{Time: 4, Task: 0, Type: 0, Kind: EventFinish},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, &res, Config{Procs: []int{1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|0x00|") {
+		t.Errorf("failed execution not rendered as |0x00|:\n%s", buf.String())
 	}
 }

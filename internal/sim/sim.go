@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 )
 
 // Config describes the machine and execution mode for one simulation.
@@ -44,6 +45,16 @@ type Config struct {
 	// it; 0 means no limit. It exists to turn scheduler bugs (starvation)
 	// into errors instead of hangs.
 	MaxTime int64
+
+	// Faults injects processor churn and transient task failure (see
+	// fhs/internal/fault). Nil or an inactive plan reproduces the
+	// reliable machine exactly. With a capacity timeline, schedulers
+	// see the live pool sizes through State.Procs, crashed processors
+	// kill their resident task (which loses its progress in
+	// non-preemptive mode, or its current quantum in preemptive mode)
+	// and killed or transiently failed tasks are re-enqueued until the
+	// plan's retry budget is exhausted, at which point Run errors.
+	Faults *fault.Plan
 
 	// Paranoid audits every finished schedule against the independent
 	// invariant checker in internal/verify: typed capacity, precedence,
@@ -72,6 +83,9 @@ func (c *Config) Validate(k int) error {
 	}
 	if c.Quantum < 0 {
 		return fmt.Errorf("sim: negative quantum %d", c.Quantum)
+	}
+	if err := c.Faults.Validate(c.Procs); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -127,6 +141,14 @@ const (
 	EventPreempt
 	// EventFinish records a task completing.
 	EventFinish
+	// EventKill records a running task killed by a processor crash and
+	// returned to its ready queue. New kinds append after EventFinish so
+	// the canonical trace order (start < preempt < finish at one
+	// instant) is preserved.
+	EventKill
+	// EventFail records a task failing transiently at the moment it
+	// would have completed; it is re-enqueued with its full work.
+	EventFail
 )
 
 func (k EventKind) String() string {
@@ -137,6 +159,10 @@ func (k EventKind) String() string {
 		return "preempt"
 	case EventFinish:
 		return "finish"
+	case EventKill:
+		return "kill"
+	case EventFail:
+		return "fail"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -155,13 +181,29 @@ type Result struct {
 	// CompletionTime is T(J): the time at which the last task finished.
 	CompletionTime int64
 
-	// BusyTime[α] is the total processor-time spent executing α-tasks.
-	// It always equals the job's TypedWork(α) on success; it is reported
-	// so utilization can be audited.
+	// BusyTime[α] is the total processor-time spent executing α-tasks,
+	// including work later lost to crashes and transient failures. On a
+	// fault-free run it equals the job's TypedWork(α); in general
+	// BusyTime[α] = TypedWork(α) + WastedWork[α]. It is reported so
+	// utilization can be audited.
 	BusyTime []int64
 
-	// Utilization[α] = BusyTime[α] / (Pα · CompletionTime), the average
-	// fraction of pool α kept busy. Zero-length jobs report zeros.
+	// WastedWork[α] is the processor-time spent on α-task executions
+	// that were subsequently discarded: progress lost to crash kills
+	// plus full executions lost to transient failures. All zeros on a
+	// fault-free run.
+	WastedWork []int64
+
+	// Kills counts tasks killed by processor crashes; Failures counts
+	// transient completion failures. Each killed or failed task was
+	// re-enqueued and eventually completed (Run errors if any task
+	// exhausts its retry budget instead).
+	Kills, Failures int64
+
+	// Utilization[α] = BusyTime[α] / (∫Pα(t)dt over [0, CompletionTime]),
+	// the average fraction of the pool's offered capacity kept busy.
+	// Without a fault timeline the denominator is Pα·CompletionTime.
+	// Zero-length jobs report zeros.
 	Utilization []float64
 
 	// Decisions counts Pick calls that assigned a task, a rough measure

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"fhs/internal/dag"
@@ -20,8 +21,14 @@ type State struct {
 	queues    [][]dag.TaskID
 	queueWork []int64 // total remaining work per queue
 
+	// cap[α] is the live pool capacity Pα(t). It equals cfg.Procs
+	// except under a fault timeline, where the engine updates it at
+	// every capacity breakpoint; schedulers observe it through Procs.
+	cap []int
+
 	remaining      []int64 // per-task remaining work
 	readySeq       []int64 // per-task sequence number of first readiness
+	attempts       []int   // per-task kill/failure re-enqueue count
 	pendingParents []int   // per-task uncompleted parent count
 	completed      []bool
 	nCompleted     int
@@ -35,10 +42,17 @@ func newState(g *dag.Graph, cfg *Config) *State {
 		cfg:            cfg,
 		queues:         make([][]dag.TaskID, g.K()),
 		queueWork:      make([]int64, g.K()),
+		cap:            append([]int(nil), cfg.Procs...),
 		remaining:      make([]int64, n),
 		readySeq:       make([]int64, n),
+		attempts:       make([]int, n),
 		pendingParents: make([]int, n),
 		completed:      make([]bool, n),
+	}
+	if cfg.Faults != nil && cfg.Faults.Timeline != nil {
+		for a := range st.cap {
+			st.cap[a] = cfg.Faults.Timeline.CapAt(dag.Type(a), 0)
+		}
 	}
 	for i := 0; i < n; i++ {
 		id := dag.TaskID(i)
@@ -62,8 +76,12 @@ func (st *State) K() int { return st.g.K() }
 // Now returns the current simulation time.
 func (st *State) Now() int64 { return st.now }
 
-// Procs returns Pα for the given type.
-func (st *State) Procs(alpha dag.Type) int { return st.cfg.Procs[alpha] }
+// Procs returns the live pool capacity Pα(t) for the given type. It
+// equals the configured pool size except under a fault timeline, where
+// crashed processors are excluded — schedulers that balance on Pα
+// (MQB's rα = lα/Pα) therefore rebalance automatically as pools
+// shrink and recover.
+func (st *State) Procs(alpha dag.Type) int { return st.cap[alpha] }
 
 // Ready returns the ready queue for alpha in first-ready (FIFO) order.
 // The slice is a view; callers must not modify or retain it.
@@ -118,6 +136,18 @@ func (st *State) dequeue(id dag.TaskID) bool {
 		}
 	}
 	return false
+}
+
+// retry re-enqueues a task after a crash kill or transient failure,
+// charging its retry budget. It errors once the task has been
+// re-enqueued more than MaxRetries times.
+func (st *State) retry(id dag.TaskID) error {
+	st.attempts[id]++
+	if max := st.cfg.Faults.MaxRetries; st.attempts[id] > max {
+		return fmt.Errorf("sim: task %d exhausted its retry budget (%d) at t=%d", id, max, st.now)
+	}
+	st.enqueue(id)
+	return nil
 }
 
 // sortQueues restores first-ready order after preempted tasks are

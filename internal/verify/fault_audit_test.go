@@ -1,0 +1,290 @@
+package verify_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/fault"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+)
+
+// faultyInstance builds a moderately busy 2-type job, a machine, and a
+// crash+failure plan that provably injects faults under every
+// registered scheduler.
+func faultyInstance(t *testing.T) (*dag.Graph, []int, *fault.Plan) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	b := dag.NewBuilder(2)
+	for i := 0; i < 24; i++ {
+		b.AddTask(dag.Type(rng.Intn(2)), int64(2+rng.Intn(7)))
+	}
+	for i := 1; i < 24; i++ {
+		if rng.Intn(3) == 0 {
+			b.AddEdge(dag.TaskID(rng.Intn(i)), dag.TaskID(i))
+		}
+	}
+	procs := []int{3, 2}
+	tl := fault.NewTimeline(procs)
+	tl.MustSet(0, 7, 1)
+	tl.MustSet(0, 19, 3)
+	tl.MustSet(1, 11, 0)
+	tl.MustSet(1, 16, 2)
+	plan := &fault.Plan{Timeline: tl, FailureProb: 0.15, MaxRetries: 25, Seed: 17}
+	return b.MustBuild(), procs, plan
+}
+
+// TestFaultRunsPassAuditAllSchedulers is the tentpole's acceptance
+// check in miniature: every registered scheduler, both engines, a plan
+// with crashes and transient failures, audited with the scheduler's
+// own option set (KGreedy keeps non-idling, now against live
+// capacity).
+func TestFaultRunsPassAuditAllSchedulers(t *testing.T) {
+	g, procs, plan := faultyInstance(t)
+	for _, preemptive := range []bool{false, true} {
+		for _, name := range allSchedulers() {
+			cfg := sim.Config{Procs: procs, Preemptive: preemptive, Faults: plan, CollectTrace: true}
+			res, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 1}), cfg)
+			if err != nil {
+				t.Fatalf("preemptive=%v scheduler %s: %v", preemptive, name, err)
+			}
+			if res.Kills == 0 && res.Failures == 0 {
+				t.Fatalf("preemptive=%v scheduler %s: plan injected nothing", preemptive, name)
+			}
+			if err := verify.Audit(g, cfg, &res, verify.ForScheduler(name)); err != nil {
+				t.Errorf("preemptive=%v scheduler %s: %v", preemptive, name, err)
+			}
+		}
+	}
+}
+
+// TestParanoidCoversFaultRuns runs the same instance through the
+// inline Paranoid path, which must now accept faulty schedules.
+func TestParanoidCoversFaultRuns(t *testing.T) {
+	g, procs, plan := faultyInstance(t)
+	for _, preemptive := range []bool{false, true} {
+		cfg := sim.Config{Procs: procs, Preemptive: preemptive, Faults: plan, Paranoid: true}
+		if _, err := sim.Run(g, core.MustNew("KGreedy", core.Params{}), cfg); err != nil {
+			t.Errorf("preemptive=%v: %v", preemptive, err)
+		}
+	}
+}
+
+// faultRun produces one audited-clean faulty run to tamper with.
+func faultRun(t *testing.T, preemptive bool) (*dag.Graph, sim.Config, sim.Result) {
+	t.Helper()
+	g, procs, plan := faultyInstance(t)
+	cfg := sim.Config{Procs: procs, Preemptive: preemptive, Faults: plan, CollectTrace: true}
+	res, err := sim.Run(g, core.MustNew("KGreedy", core.Params{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, cfg, res
+}
+
+// TestAuditRejectsTamperedFaultResults flips each fault-specific
+// aggregate and expects the auditor to object.
+func TestAuditRejectsTamperedFaultResults(t *testing.T) {
+	g, cfg, clean := faultRun(t, false)
+	opts := verify.ForScheduler("KGreedy")
+
+	tamper := []struct {
+		name string
+		mut  func(r *sim.Result)
+		want string
+	}{
+		{"wasted", func(r *sim.Result) { r.WastedWork[0]++ }, "wasted work"},
+		{"kills", func(r *sim.Result) { r.Kills++ }, "kills"},
+		{"failures", func(r *sim.Result) { r.Failures-- }, "failures"},
+		{"busy", func(r *sim.Result) { r.BusyTime[1]-- }, "busy time"},
+		{"utilization", func(r *sim.Result) { r.Utilization[0] *= 1.5 }, "utilization"},
+	}
+	for _, tc := range tamper {
+		res := clean
+		res.BusyTime = append([]int64(nil), clean.BusyTime...)
+		res.WastedWork = append([]int64(nil), clean.WastedWork...)
+		res.Utilization = append([]float64(nil), clean.Utilization...)
+		tc.mut(&res)
+		err := verify.Audit(g, cfg, &res, opts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s tamper: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestAuditRejectsTamperedFaultTraces corrupts fault events in the
+// trace: a kill moved off its breakpoint, a failure rewritten as a
+// finish (the coin says it must fail), and a dropped kill that leaves
+// a pool over its live capacity.
+func TestAuditRejectsTamperedFaultTraces(t *testing.T) {
+	for _, preemptive := range []bool{false, true} {
+		g, cfg, clean := faultRun(t, preemptive)
+		opts := verify.ForScheduler("KGreedy")
+		opts.NonIdling = false // tampered traces idle processors legitimately
+		opts.GreedyBound = false
+
+		killIdx, failIdx := -1, -1
+		for i, e := range clean.Trace {
+			if e.Kind == sim.EventKill && killIdx < 0 {
+				killIdx = i
+			}
+			if e.Kind == sim.EventFail && failIdx < 0 {
+				failIdx = i
+			}
+		}
+		if killIdx < 0 || failIdx < 0 {
+			t.Fatalf("preemptive=%v: instance produced no kill or no fail event", preemptive)
+		}
+
+		// A kill at a non-breakpoint instant is invented hardware failure.
+		res := clean
+		res.Trace = append([]sim.Event(nil), clean.Trace...)
+		res.Trace[killIdx].Time--
+		if err := verify.Audit(g, cfg, &res, opts); err == nil {
+			t.Errorf("preemptive=%v: kill moved off breakpoint accepted", preemptive)
+		}
+
+		// The coin says this attempt fails; a finish contradicts the plan.
+		res = clean
+		res.Trace = append([]sim.Event(nil), clean.Trace...)
+		res.Trace[failIdx].Kind = sim.EventFinish
+		if err := verify.Audit(g, cfg, &res, opts); err == nil {
+			t.Errorf("preemptive=%v: failure rewritten as finish accepted", preemptive)
+		}
+	}
+}
+
+// TestAuditRejectsFaultEventsWithoutPlan proves kill/fail events in a
+// reliable config are violations, not noise.
+func TestAuditRejectsFaultEventsWithoutPlan(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 2)
+	g := b.MustBuild()
+	cfg := sim.Config{Procs: []int{1}, CollectTrace: true}
+	res := sim.Result{
+		CompletionTime: 4,
+		BusyTime:       []int64{4},
+		WastedWork:     []int64{2},
+		Utilization:    []float64{1},
+		Decisions:      2,
+		Kills:          0,
+		Failures:       1,
+		Trace: []sim.Event{
+			{Time: 0, Task: 0, Type: 0, Kind: sim.EventStart},
+			{Time: 2, Task: 0, Type: 0, Kind: sim.EventFail},
+			{Time: 2, Task: 0, Type: 0, Kind: sim.EventStart},
+			{Time: 4, Task: 0, Type: 0, Kind: sim.EventFinish},
+		},
+	}
+	err := verify.Audit(g, cfg, &res, verify.Options{})
+	if err == nil || !strings.Contains(err.Error(), "injects no faults") {
+		t.Errorf("err = %v, want fail-without-plan error", err)
+	}
+}
+
+// TestAuditEnforcesRetryBudget hand-builds a trace whose task is
+// re-enqueued past the plan's budget.
+func TestAuditEnforcesRetryBudget(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 2)
+	g := b.MustBuild()
+	// Seed chosen so attempts 0 and 1 both fail (prob 1 makes every
+	// attempt fail; budget 1 allows only one).
+	plan := &fault.Plan{FailureProb: 1, MaxRetries: 1, Seed: 3}
+	cfg := sim.Config{Procs: []int{1}, Faults: plan, CollectTrace: true}
+	res := sim.Result{
+		CompletionTime: 6,
+		BusyTime:       []int64{6},
+		WastedWork:     []int64{6},
+		Utilization:    []float64{1},
+		Decisions:      3,
+		Failures:       3,
+		Trace: []sim.Event{
+			{Time: 0, Task: 0, Type: 0, Kind: sim.EventStart},
+			{Time: 2, Task: 0, Type: 0, Kind: sim.EventFail},
+			{Time: 2, Task: 0, Type: 0, Kind: sim.EventStart},
+			{Time: 4, Task: 0, Type: 0, Kind: sim.EventFail},
+			{Time: 4, Task: 0, Type: 0, Kind: sim.EventStart},
+			{Time: 6, Task: 0, Type: 0, Kind: sim.EventFail},
+		},
+	}
+	err := verify.Audit(g, cfg, &res, verify.Options{})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("err = %v, want retry-budget error", err)
+	}
+}
+
+// TestAuditCapacityTimelineSilentBreakpoint hand-builds a trace that
+// keeps two tasks running through a capacity drop with no kill — the
+// auditor must flag the silent breakpoint.
+func TestAuditCapacityTimelineSilentBreakpoint(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask(0, 4)
+	b.AddTask(0, 4)
+	g := b.MustBuild()
+	procs := []int{2}
+	tl := fault.NewTimeline(procs)
+	tl.MustSet(0, 2, 1)
+	tl.MustSet(0, 10, 2)
+	plan := &fault.Plan{Timeline: tl, MaxRetries: 2}
+	cfg := sim.Config{Procs: procs, Faults: plan, CollectTrace: true}
+	res := sim.Result{
+		CompletionTime: 4,
+		BusyTime:       []int64{8},
+		WastedWork:     []int64{0},
+		Utilization:    []float64{1},
+		Decisions:      2,
+		Trace: []sim.Event{
+			{Time: 0, Task: 0, Type: 0, Kind: sim.EventStart},
+			{Time: 0, Task: 1, Type: 0, Kind: sim.EventStart},
+			{Time: 4, Task: 0, Type: 0, Kind: sim.EventFinish},
+			{Time: 4, Task: 1, Type: 0, Kind: sim.EventFinish},
+		},
+	}
+	err := verify.Audit(g, cfg, &res, verify.Options{})
+	if err == nil || !strings.Contains(err.Error(), "capacity timeline") {
+		t.Errorf("err = %v, want capacity-timeline error", err)
+	}
+}
+
+// TestCrossEngineFaultAgreement checks the two engines agree on fault
+// tallies for plans without crashes (transient failures cost the same
+// work in both modes; crash losses legitimately differ).
+func TestCrossEngineFaultAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := dag.NewBuilder(2)
+	for i := 0; i < 16; i++ {
+		b.AddTask(dag.Type(rng.Intn(2)), int64(1+rng.Intn(5)))
+	}
+	g := b.MustBuild()
+	procs := []int{2, 2}
+	plan := &fault.Plan{FailureProb: 0.3, MaxRetries: 30, Seed: 5}
+
+	cfgN := sim.Config{Procs: procs, Faults: plan, CollectTrace: true}
+	resN, err := sim.Run(g, core.MustNew("KGreedy", core.Params{}), cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgP := sim.Config{Procs: procs, Preemptive: true, Faults: plan, CollectTrace: true}
+	resP, err := sim.Run(g, core.MustNew("KGreedy", core.Params{}), cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resN.Failures == 0 {
+		t.Fatal("plan injected no failures")
+	}
+	// The coin is a pure function of (task, attempt): with no crashes
+	// and both engines completing every attempt, the failure count per
+	// task — and so the totals — must agree.
+	if resN.Failures != resP.Failures {
+		t.Errorf("failure counts differ: non-preemptive %d, preemptive %d", resN.Failures, resP.Failures)
+	}
+	for a := range resN.WastedWork {
+		if resN.WastedWork[a] != resP.WastedWork[a] {
+			t.Errorf("wasted work differs on type %d: %d vs %d", a, resN.WastedWork[a], resP.WastedWork[a])
+		}
+	}
+}

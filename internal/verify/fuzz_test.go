@@ -6,6 +6,7 @@ import (
 
 	"fhs/internal/core"
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 	"fhs/internal/sim"
 	"fhs/internal/verify"
 )
@@ -139,6 +140,79 @@ func FuzzDifferentialUnitWork(f *testing.F) {
 				t.Skip("optimum search budget exhausted")
 			}
 			t.Fatal(err)
+		}
+	})
+}
+
+// fuzzFaultPlan decodes trailing input bytes into a fault plan for the
+// given machine: up to 12 capacity steps with strictly advancing
+// times, a forced full repair after the last step so every run can
+// finish, a failure probability from {0, 1/8, 1/4}, and a retry
+// budget in [8, 11]. Every byte string decodes to a valid plan.
+func fuzzFaultPlan(data []byte, procs []int) *fault.Plan {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	cursor := 0
+	next := func() int {
+		b := data[cursor%len(data)]
+		cursor++
+		return int(b)
+	}
+	tl := fault.NewTimeline(procs)
+	steps := next() % 13
+	at := int64(0)
+	stepped := false
+	for s := 0; s < steps; s++ {
+		at += int64(next()%5 + 1)
+		alpha := dag.Type(next() % len(procs))
+		if err := tl.Set(alpha, at, next()%(procs[alpha]+1)); err != nil {
+			panic(err) // unreachable: times advance and caps stay in range
+		}
+		stepped = true
+	}
+	if stepped {
+		// Full repair one tick after the last step: plans always let the
+		// job finish, so engine errors (other than retry-budget) are bugs.
+		at++
+		for a := range procs {
+			tl.MustSet(dag.Type(a), at, procs[a])
+		}
+	}
+	plan := &fault.Plan{
+		Timeline:    tl,
+		FailureProb: float64(next()%3) / 8,
+		MaxRetries:  next()%4 + 8,
+		Seed:        int64(next()) | int64(next())<<8,
+	}
+	return plan
+}
+
+// FuzzFaults drives every registered scheduler through both engines on
+// fuzzed (K-DAG, machine, fault plan) triples and audits each trace
+// with the fault-extended invariants. Retry-budget exhaustion is a
+// legitimate outcome (the plan may genuinely starve a task); any other
+// engine error or audit violation is a crash.
+func FuzzFaults(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add([]byte{2, 6, 0, 1, 0, 1, 0, 1, 1, 1, 0, 5, 3, 2, 1, 0, 4, 0, 1, 2, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, procs := fuzzInstance(data, 8, false)
+		plan := fuzzFaultPlan(data, procs)
+		for _, preemptive := range []bool{false, true} {
+			for _, name := range allSchedulers() {
+				cfg := sim.Config{Procs: procs, Preemptive: preemptive, Faults: plan, CollectTrace: true}
+				res, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 1}), cfg)
+				if err != nil {
+					if strings.Contains(err.Error(), "retry budget") {
+						continue
+					}
+					t.Fatalf("scheduler %s (preemptive=%v): %v", name, preemptive, err)
+				}
+				if err := verify.Audit(g, cfg, &res, verify.ForScheduler(name)); err != nil {
+					t.Fatalf("scheduler %s (preemptive=%v): %v", name, preemptive, err)
+				}
+			}
 		}
 	})
 }

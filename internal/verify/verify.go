@@ -21,6 +21,15 @@
 //   - Non-idling (optional): no α-processor idles while an α-task is
 //     ready, the defining property of greedy schedules.
 //
+// Fault-injected runs (sim.Config.Faults) are audited against the
+// generalized invariants: occupancy is checked against the capacity
+// timeline Pα(t) at every instant including silent breakpoints, work
+// conservation extends to lost-and-re-executed intervals (busy time =
+// typed work + wasted work, kill/fail events reset a task's progress
+// exactly as the engines do), every kill must coincide with a capacity
+// drop, the transient-failure coin is recomputed and cross-checked
+// per completion, and retry budgets are enforced per task.
+//
 // The auditor registers itself with sim.RegisterAuditor at init time,
 // so any program that links this package may set sim.Config.Paranoid
 // to audit every run inline. differential.go adds cross-engine and
@@ -31,6 +40,7 @@ import (
 	"fmt"
 
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 	"fhs/internal/metrics"
 	"fhs/internal/sim"
 )
@@ -102,13 +112,25 @@ func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
 		cfg:      &cfg,
 		opts:     opts,
 		quantum:  quantum,
+		plan:     cfg.Faults,
 		executed: make([]int64, n),
 		runStart: make([]int64, n),
 		finish:   make([]int64, n),
 		starts:   make([]int, n),
+		attempts: make([]int, n),
 		pending:  make([]int, n),
 		running:  make([]int, k),
 		ready:    make([]int, k),
+		cap:      append([]int(nil), cfg.Procs...),
+		wasted:   make([]int64, k),
+	}
+	if cfg.Faults != nil {
+		a.tl = cfg.Faults.Timeline
+	}
+	if a.tl != nil {
+		for alpha := 0; alpha < k; alpha++ {
+			a.cap[alpha] = a.tl.CapAt(dag.Type(alpha), 0)
+		}
 	}
 	for i := 0; i < n; i++ {
 		id := dag.TaskID(i)
@@ -120,9 +142,14 @@ func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
 		a.ready[g.Task(r).Type]++
 	}
 
-	// Replay the trace one time-bucket at a time: releases (finish,
-	// preempt) before claims (start) within a bucket, then the
-	// non-idling check once the bucket settles.
+	// Replay the trace one time-bucket at a time, merged with the
+	// capacity breakpoints of the fault timeline: breakpoints strictly
+	// before a bucket apply silently (occupancy must already fit the
+	// shrunk pool — the engine killed at the breakpoint or the pool had
+	// slack), a breakpoint at the bucket applies after releases (finish,
+	// preempt, kill, fail) and before claims (start), exactly the
+	// engines' intra-instant order. The non-idling check runs once each
+	// bucket settles.
 	trace := res.Trace
 	lastTime := int64(-1)
 	for i := 0; i < len(trace); {
@@ -134,16 +161,22 @@ func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
 			return fmt.Errorf("verify: negative event time %d", t)
 		}
 		lastTime = t
+		if err := a.applyBreakpointsBefore(t); err != nil {
+			return err
+		}
 		j := i
 		for j < len(trace) && trace[j].Time == t {
 			j++
 		}
 		for _, e := range trace[i:j] {
-			if e.Kind == sim.EventFinish || e.Kind == sim.EventPreempt {
+			if e.Kind != sim.EventStart {
 				if err := a.release(e); err != nil {
 					return err
 				}
 			}
+		}
+		if err := a.applyBreakpointAt(t); err != nil {
+			return err
 		}
 		for _, e := range trace[i:j] {
 			if e.Kind == sim.EventStart {
@@ -153,11 +186,8 @@ func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
 			}
 		}
 		if opts.NonIdling {
-			for alpha := 0; alpha < k; alpha++ {
-				if a.ready[alpha] > 0 && a.running[alpha] < cfg.Procs[alpha] {
-					return fmt.Errorf("verify: non-idling violated at t=%d: %d ready type-%d tasks while %d of %d processors idle",
-						t, a.ready[alpha], alpha, cfg.Procs[alpha]-a.running[alpha], cfg.Procs[alpha])
-				}
+			if err := a.checkNonIdling(t); err != nil {
+				return err
 			}
 		}
 		i = j
@@ -177,17 +207,99 @@ type audit struct {
 	cfg     *sim.Config
 	opts    Options
 	quantum int64
+	plan    *fault.Plan
+	tl      *fault.Timeline
 
-	executed []int64 // work performed so far, per task
+	executed []int64 // work performed toward the current completion attempt, per task
 	runStart []int64 // start of the current run interval, -1 if not running
 	finish   []int64 // finish time, -1 if unfinished
 	starts   []int   // number of Start events, per task
+	attempts []int   // kill/failure re-enqueues so far, per task
 	pending  []int   // uncompleted parents, per task
 	running  []int   // running tasks per type
 	ready    []int   // ready (eligible, not running, not finished) per type
+	cap      []int   // live pool capacity Pα(t) from the timeline
+	wasted   []int64 // lost processor-time per type
+	bpIdx    int     // next unapplied timeline breakpoint
 
 	finished    int
 	totalStarts int64
+	kills       int64
+	fails       int64
+}
+
+// applyBreakpointsBefore applies every timeline breakpoint strictly
+// before t. No trace events land there, so the new capacity must fit
+// the standing occupancy (a shrink needing kills would have produced a
+// bucket), and a non-idling schedule must not have been able to start
+// anything (a growth with ready tasks would have too).
+func (a *audit) applyBreakpointsBefore(t int64) error {
+	if a.tl == nil {
+		return nil
+	}
+	times := a.tl.Times()
+	for a.bpIdx < len(times) && times[a.bpIdx] < t {
+		if err := a.applyCapacity(times[a.bpIdx]); err != nil {
+			return err
+		}
+		if a.opts.NonIdling {
+			if err := a.checkNonIdling(times[a.bpIdx]); err != nil {
+				return err
+			}
+		}
+		a.bpIdx++
+	}
+	return nil
+}
+
+// applyBreakpointAt applies a breakpoint landing exactly at bucket
+// time t, after the bucket's releases and before its claims.
+func (a *audit) applyBreakpointAt(t int64) error {
+	if a.tl == nil {
+		return nil
+	}
+	times := a.tl.Times()
+	if a.bpIdx < len(times) && times[a.bpIdx] == t {
+		if err := a.applyCapacity(t); err != nil {
+			return err
+		}
+		a.bpIdx++
+	}
+	return nil
+}
+
+// atBreakpoint reports whether t is an unapplied breakpoint — the
+// bucket currently being replayed coincides with a capacity change.
+func (a *audit) atBreakpoint(t int64) bool {
+	if a.tl == nil {
+		return false
+	}
+	times := a.tl.Times()
+	return a.bpIdx < len(times) && times[a.bpIdx] == t
+}
+
+// applyCapacity moves the live capacities to their timeline values at
+// instant b and checks occupancy still fits every pool.
+func (a *audit) applyCapacity(b int64) error {
+	for alpha := range a.cap {
+		a.cap[alpha] = a.tl.CapAt(dag.Type(alpha), b)
+		if a.running[alpha] > a.cap[alpha] {
+			return fmt.Errorf("verify: capacity timeline violated at t=%d: %d type-%d tasks running on %d live processors",
+				b, a.running[alpha], alpha, a.cap[alpha])
+		}
+	}
+	return nil
+}
+
+// checkNonIdling enforces the greedy property against live capacity.
+func (a *audit) checkNonIdling(t int64) error {
+	for alpha := range a.cap {
+		if a.ready[alpha] > 0 && a.running[alpha] < a.cap[alpha] {
+			return fmt.Errorf("verify: non-idling violated at t=%d: %d ready type-%d tasks while %d of %d live processors idle",
+				t, a.ready[alpha], alpha, a.cap[alpha]-a.running[alpha], a.cap[alpha])
+		}
+	}
+	return nil
 }
 
 // checkEvent validates the fields every event shares.
@@ -201,9 +313,10 @@ func (a *audit) checkEvent(e sim.Event) error {
 	return nil
 }
 
-// release processes a Finish or Preempt event: the task leaves its
-// processor, its executed work grows by the closed interval, and (for
-// Finish) its children may become ready.
+// release processes a Finish, Preempt, Kill or Fail event: the task
+// leaves its processor, its executed work grows by the closed interval
+// (to be discarded again for kills and failures), and (for Finish) its
+// children may become ready.
 func (a *audit) release(e sim.Event) error {
 	if err := a.checkEvent(e); err != nil {
 		return err
@@ -243,6 +356,9 @@ func (a *audit) release(e sim.Event) error {
 		if a.finish[id] >= 0 {
 			return fmt.Errorf("verify: task %d finished twice (t=%d and t=%d)", id, a.finish[id], t)
 		}
+		if a.plan.FailsCompletion(id, a.attempts[id]) {
+			return fmt.Errorf("verify: task %d finished at t=%d but the fault plan fails attempt %d", id, t, a.attempts[id])
+		}
 		a.finish[id] = t
 		a.finished++
 		for _, c := range a.g.Children(id) {
@@ -253,7 +369,55 @@ func (a *audit) release(e sim.Event) error {
 				return fmt.Errorf("verify: task %d completed more parents than it has", c)
 			}
 		}
+	case sim.EventKill:
+		if a.tl == nil {
+			return fmt.Errorf("verify: kill event for task %d at t=%d but the config has no capacity timeline", id, t)
+		}
+		if !a.atBreakpoint(t) {
+			return fmt.Errorf("verify: task %d killed at t=%d, which is not a capacity breakpoint", id, t)
+		}
+		if a.executed[id] >= work {
+			return fmt.Errorf("verify: task %d killed at t=%d with no work left", id, t)
+		}
+		if a.cfg.Preemptive {
+			// A crash costs only the quantum just run.
+			a.wasted[e.Type] += d
+			a.executed[id] -= d
+		} else {
+			// Non-preemptive progress is all-or-nothing: everything since
+			// the (re)start is lost.
+			a.wasted[e.Type] += a.executed[id]
+			a.executed[id] = 0
+		}
+		a.kills++
+		return a.chargeRetry(e)
+	case sim.EventFail:
+		if !a.plan.Active() {
+			return fmt.Errorf("verify: fail event for task %d at t=%d but the config injects no faults", id, t)
+		}
+		if a.executed[id] != work {
+			return fmt.Errorf("verify: task %d failed at t=%d with %d of %d work executed (failures strike at completion)", id, t, a.executed[id], work)
+		}
+		if !a.plan.FailsCompletion(id, a.attempts[id]) {
+			return fmt.Errorf("verify: task %d failed at t=%d but the fault plan passes attempt %d", id, t, a.attempts[id])
+		}
+		a.wasted[e.Type] += work
+		a.executed[id] = 0
+		a.fails++
+		return a.chargeRetry(e)
 	}
+	return nil
+}
+
+// chargeRetry accounts a kill/fail re-enqueue against the task's
+// retry budget and returns it to the ready pool.
+func (a *audit) chargeRetry(e sim.Event) error {
+	a.attempts[e.Task]++
+	if a.attempts[e.Task] > a.plan.MaxRetries {
+		return fmt.Errorf("verify: task %d re-enqueued %d times at t=%d, retry budget is %d",
+			e.Task, a.attempts[e.Task], e.Time, a.plan.MaxRetries)
+	}
+	a.ready[e.Type]++
 	return nil
 }
 
@@ -276,13 +440,17 @@ func (a *audit) claim(e sim.Event) error {
 	}
 	a.starts[id]++
 	a.totalStarts++
-	if !a.cfg.Preemptive && a.starts[id] > 1 {
-		return fmt.Errorf("verify: task %d started %d times in a non-preemptive schedule", id, a.starts[id])
+	// Run-to-completion generalizes under faults: one placement per
+	// completion attempt, so a task may start once plus once per
+	// kill/failure re-enqueue.
+	if !a.cfg.Preemptive && a.starts[id] > a.attempts[id]+1 {
+		return fmt.Errorf("verify: task %d started %d times in a non-preemptive schedule with %d re-enqueues",
+			id, a.starts[id], a.attempts[id])
 	}
 	a.running[e.Type]++
-	if a.running[e.Type] > a.cfg.Procs[e.Type] {
-		return fmt.Errorf("verify: capacity violated at t=%d: %d type-%d tasks running on %d processors",
-			t, a.running[e.Type], e.Type, a.cfg.Procs[e.Type])
+	if a.running[e.Type] > a.cap[e.Type] {
+		return fmt.Errorf("verify: capacity violated at t=%d: %d type-%d tasks running on %d live processors",
+			t, a.running[e.Type], e.Type, a.cap[e.Type])
 	}
 	a.ready[e.Type]--
 	if a.ready[e.Type] < 0 {
@@ -302,18 +470,44 @@ func (a *audit) checkResult(res *sim.Result, lastTime int64) error {
 	}
 
 	// Work conservation in aggregate: reported per-type busy time must
-	// equal the job's typed work exactly.
+	// equal the job's typed work plus whatever the faults discarded, and
+	// the reported fault tallies must match the replay exactly. A nil
+	// WastedWork (results predating fault injection) is treated as
+	// all-zero.
 	for alpha := 0; alpha < g.K(); alpha++ {
-		if want := g.TypedWork(dag.Type(alpha)); res.BusyTime[alpha] != want {
-			return fmt.Errorf("verify: busy time of type %d is %d, typed work is %d", alpha, res.BusyTime[alpha], want)
+		var repWasted int64
+		if res.WastedWork != nil {
+			if len(res.WastedWork) != g.K() {
+				return fmt.Errorf("verify: result has %d wasted-work entries, job has K=%d", len(res.WastedWork), g.K())
+			}
+			repWasted = res.WastedWork[alpha]
 		}
+		if repWasted != a.wasted[alpha] {
+			return fmt.Errorf("verify: wasted work of type %d is %d, replay found %d", alpha, repWasted, a.wasted[alpha])
+		}
+		if want := g.TypedWork(dag.Type(alpha)) + a.wasted[alpha]; res.BusyTime[alpha] != want {
+			return fmt.Errorf("verify: busy time of type %d is %d, typed work + wasted work is %d", alpha, res.BusyTime[alpha], want)
+		}
+	}
+	if res.Kills != a.kills {
+		return fmt.Errorf("verify: %d kills reported but %d kill events traced", res.Kills, a.kills)
+	}
+	if res.Failures != a.fails {
+		return fmt.Errorf("verify: %d failures reported but %d fail events traced", res.Failures, a.fails)
 	}
 	if len(res.Utilization) != g.K() {
 		return fmt.Errorf("verify: result has %d utilization entries, job has K=%d", len(res.Utilization), g.K())
 	}
 	const eps = 1e-9
 	for alpha, u := range res.Utilization {
-		want := float64(res.BusyTime[alpha]) / (float64(cfg.Procs[alpha]) * float64(T))
+		denom := float64(cfg.Procs[alpha]) * float64(T)
+		if a.tl != nil {
+			denom = float64(a.tl.CapIntegral(dag.Type(alpha), T))
+		}
+		want := 0.0
+		if denom > 0 {
+			want = float64(res.BusyTime[alpha]) / denom
+		}
 		if diff := u - want; diff > eps || diff < -eps {
 			return fmt.Errorf("verify: utilization of type %d is %g, recomputed %g", alpha, u, want)
 		}
@@ -323,7 +517,11 @@ func (a *audit) checkResult(res *sim.Result, lastTime int64) error {
 	}
 
 	// Lower bounds: no schedule beats the span or the typed work over
-	// pool size (all-integer arithmetic, no rounding concerns).
+	// pool size (all-integer arithmetic, no rounding concerns). Both
+	// survive faults — the machine never exceeds its base capacity, and
+	// lost work only slows things down. The capacity integral tightens
+	// the work bound under a timeline: a pool cannot have been busier
+	// than the processor-time it actually offered.
 	if T < g.Span() {
 		return fmt.Errorf("verify: completion time %d beats the span %d", T, g.Span())
 	}
@@ -332,6 +530,12 @@ func (a *audit) checkResult(res *sim.Result, lastTime int64) error {
 			return fmt.Errorf("verify: completion time %d beats the type-%d work bound %d/%d",
 				T, alpha, g.TypedWork(dag.Type(alpha)), cfg.Procs[alpha])
 		}
+		if a.tl != nil {
+			if offered := a.tl.CapIntegral(dag.Type(alpha), T); res.BusyTime[alpha] > offered {
+				return fmt.Errorf("verify: pool %d was busy %d time units but the timeline offered only %d",
+					alpha, res.BusyTime[alpha], offered)
+			}
+		}
 	}
 	if lb, err := metrics.LowerBound(g, cfg.Procs); err != nil {
 		return fmt.Errorf("verify: %w", err)
@@ -339,8 +543,11 @@ func (a *audit) checkResult(res *sim.Result, lastTime int64) error {
 		return fmt.Errorf("verify: completion time %d beats the lower bound L(J)=%g", T, lb)
 	}
 
-	// Upper bound for greedy schedules: T ≤ Σα T1(J,α)/Pα + T∞.
-	if a.opts.GreedyBound {
+	// Upper bound for greedy schedules: T ≤ Σα T1(J,α)/Pα + T∞. The
+	// proof assumes a reliable machine, so the bound is not checked on
+	// fault-injected runs (crashes and failures can push any greedy
+	// schedule past it).
+	if a.opts.GreedyBound && !a.plan.Active() {
 		bound := float64(g.Span())
 		for alpha := 0; alpha < g.K(); alpha++ {
 			bound += float64(g.TypedWork(dag.Type(alpha))) / float64(cfg.Procs[alpha])
