@@ -1,0 +1,155 @@
+// Command fhbench runs the continuous-benchmarking suite and compares
+// benchmark reports.
+//
+// Measure (writes a schema-versioned report and a human table):
+//
+//	fhbench [-suite full|ci] [-instances N] [-seed S] [-workers W]
+//	        [-benchtime D] [-match SUBSTR] [-note TEXT] [-out BENCH.json]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// Compare (exits 2 when a benchmark regresses beyond the gate or the
+// two reports measured different work):
+//
+//	fhbench -compare old.json new.json [-gate 0.25] [-noise 0.05]
+//
+// The committed baseline lives at BENCH_1.json; CI runs the ci-scale
+// suite and compares against it (warn-only on pull requests, hard
+// gate on main). See the Performance section of EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"fhs/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fhbench: ")
+	var (
+		suite      = flag.String("suite", "full", "scale preset: full (baseline) or ci (reduced)")
+		instances  = flag.Int("instances", 0, "override exp-panel instances per iteration")
+		seed       = flag.Int64("seed", 0, "override the root seed")
+		workers    = flag.Int("workers", 0, "exp harness workers (0 = all cores; fingerprints are invariant)")
+		benchtime  = flag.Duration("benchtime", 0, "override target measuring time per benchmark")
+		match      = flag.String("match", "", "only run benchmarks whose name contains this substring")
+		note       = flag.String("note", "", "free-form label stored in the report")
+		out        = flag.String("out", "", "write the JSON report to this file")
+		quiet      = flag.Bool("quiet", false, "suppress the per-benchmark progress lines")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the suite run to this file")
+		compare    = flag.Bool("compare", false, "compare two reports: fhbench -compare old.json new.json")
+		gate       = flag.Float64("gate", 0.25, "compare: relative slowdown that fails the comparison")
+		noise      = flag.Float64("noise", 0.05, "compare: relative delta treated as measurement noise")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: fhbench -compare old.json new.json")
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), bench.Gate{Noise: *noise, Fail: *gate})
+		return
+	}
+	if flag.NArg() != 0 {
+		log.Fatalf("unexpected arguments %v (did you mean -compare?)", flag.Args())
+	}
+
+	sc, err := bench.ScaleByName(*suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *instances > 0 {
+		sc.Instances = *instances
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
+	}
+	if *benchtime > 0 {
+		sc.BenchTime = *benchtime
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	start := time.Now()
+	rep, err := bench.Run(sc, *match, logf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Note = *note
+	fmt.Printf("suite finished in %.1fs\n\n", time.Since(start).Seconds())
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func runCompare(oldPath, newPath string, g bench.Gate) {
+	oldRep, err := bench.LoadReport(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRep, err := bench.LoadReport(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := bench.Compare(oldRep, newRep, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteComparison(os.Stdout, c); err != nil {
+		log.Fatal(err)
+	}
+	if c.Failed() {
+		os.Exit(2)
+	}
+}

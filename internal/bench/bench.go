@@ -1,0 +1,238 @@
+// Package bench is the continuous-benchmarking subsystem: a
+// reproducible, fixed-seed suite of figure-scale and micro workloads
+// covering the simulation engine, the schedulers' hot paths, lookahead
+// computation, workload generation and the experiment harness.
+//
+// The suite produces a schema-versioned machine-readable report
+// (BENCH_<n>.json, see Report) plus a human-readable table, and a
+// comparator (Compare) that computes per-benchmark deltas between two
+// reports with a noise threshold and a regression gate — the CI signal
+// that a PR slowed a hot path down.
+//
+// Every benchmark is deterministic: the work executed per iteration
+// depends only on the Scale (seed, instance count), never on timing or
+// worker interleaving, and each iteration records a Fingerprint of its
+// inputs (instance counts, makespan checksums). Two runs at the same
+// Scale must produce bit-identical fingerprints regardless of Workers
+// — asserted by TestSuiteDeterminism — so throughput numbers are
+// always measured over the same work.
+//
+// The timing harness is self-contained (no testing.B) so cmd/fhbench
+// can control the measuring time per benchmark and capture pprof
+// profiles around the whole suite.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale fixes the workload of a suite run. The zero value is completed
+// by fillDefaults; use FullScale or CIScale for the standard presets.
+type Scale struct {
+	// Instances is the per-iteration instance count of the
+	// figure-scale (exp) benchmarks.
+	Instances int
+	// Seed roots all randomness; identical seeds mean identical work.
+	Seed int64
+	// Workers bounds the exp harness's parallelism; 0 = GOMAXPROCS.
+	// Fingerprints are invariant to this.
+	Workers int
+	// BenchTime is the target measuring time per benchmark.
+	BenchTime time.Duration
+}
+
+func (sc Scale) fillDefaults() Scale {
+	if sc.Instances <= 0 {
+		sc.Instances = 100
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.BenchTime <= 0 {
+		sc.BenchTime = time.Second
+	}
+	return sc
+}
+
+// FullScale is the committed-baseline preset (BENCH_<n>.json).
+var FullScale = Scale{Instances: 100, Seed: 1, BenchTime: time.Second}
+
+// CIScale is the reduced preset for the CI bench job: the same seeds
+// and therefore the same per-iteration work shape, fewer exp instances
+// and a shorter measuring time.
+var CIScale = Scale{Instances: 25, Seed: 1, BenchTime: 250 * time.Millisecond}
+
+// ScaleByName maps the -suite flag of cmd/fhbench to a preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "full":
+		return FullScale, nil
+	case "ci":
+		return CIScale, nil
+	default:
+		return Scale{}, fmt.Errorf("bench: unknown suite scale %q (want full or ci)", name)
+	}
+}
+
+// Fingerprint is the deterministic summary of the work one iteration
+// performed. It is a correctness anchor, not a metric: two runs at the
+// same Scale must produce identical fingerprints, or the throughput
+// numbers compare different work.
+type Fingerprint struct {
+	// Instances counts the work items processed per iteration:
+	// simulated instances for figure-scale benchmarks, tasks or graphs
+	// for micro benchmarks.
+	Instances float64 `json:"instances"`
+	// Decisions counts scheduler Pick decisions per iteration, when
+	// the benchmark runs an engine (0 otherwise).
+	Decisions float64 `json:"decisions,omitempty"`
+	// Checksum is a content hash of the iteration's outputs (makespan
+	// sums, mean-ratio sums, descendant-value sums) used by the
+	// determinism test.
+	Checksum float64 `json:"checksum"`
+}
+
+// Benchmark is one suite entry. Setup builds the iteration closure at
+// a given scale; construction cost (graph generation, scheduler
+// building) is excluded from timing. The closure's fingerprint must be
+// identical on every call.
+type Benchmark struct {
+	Name  string
+	Setup func(sc Scale) (func() (Fingerprint, error), error)
+}
+
+// Result is one measured benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// Derived throughput: fingerprint counts over wall time.
+	InstancesPerSec float64 `json:"instances_per_sec,omitempty"`
+	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
+
+	Fingerprint Fingerprint `json:"fingerprint"`
+}
+
+// measure times fn until the target duration is spent, growing the
+// batch size geometrically (the testing.B strategy, self-contained so
+// callers control the budget). It returns the per-op statistics and
+// the fingerprint of one iteration.
+func measure(fn func() (Fingerprint, error), benchTime time.Duration) (Result, error) {
+	// Warm-up iteration: faults in code paths, fills caches the same
+	// way every run, and yields the fingerprint.
+	fp, err := fn()
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		iters    int64
+		elapsed  time.Duration
+		mallocs  uint64
+		bytes    uint64
+		ms0, ms1 runtime.MemStats
+	)
+	n := int64(1)
+	for elapsed < benchTime {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := int64(0); i < n; i++ {
+			if _, err := fn(); err != nil {
+				return Result{}, err
+			}
+		}
+		batch := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		elapsed += batch
+		iters += n
+		mallocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+		// Grow toward the remaining budget, capped at 2x per round so
+		// a mispredicted op cost cannot overshoot wildly.
+		n *= 2
+		if per := elapsed / time.Duration(iters); per > 0 {
+			if want := int64((benchTime - elapsed) / per); want < n {
+				n = want
+			}
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	res := Result{
+		Iters:       iters,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: float64(mallocs) / float64(iters),
+		BytesPerOp:  float64(bytes) / float64(iters),
+		Fingerprint: fp,
+	}
+	if nsPerOp > 0 {
+		res.InstancesPerSec = fp.Instances * 1e9 / nsPerOp
+		res.DecisionsPerSec = fp.Decisions * 1e9 / nsPerOp
+	}
+	return res, nil
+}
+
+// Run measures every suite benchmark whose name contains match (empty
+// = all) at the given scale and returns the report. Progress, when
+// logf is non-nil, is emitted one line per finished benchmark.
+func Run(sc Scale, match string, logf func(format string, args ...any)) (*Report, error) {
+	sc = sc.fillDefaults()
+	rep := NewReport(sc)
+	for _, b := range Suite() {
+		if match != "" && !strings.Contains(b.Name, match) {
+			continue
+		}
+		iter, err := b.Setup(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: setup: %w", b.Name, err)
+		}
+		res, err := measure(iter, sc.BenchTime)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", b.Name, err)
+		}
+		res.Name = b.Name
+		rep.Results = append(rep.Results, res)
+		if logf != nil {
+			logf("%-32s %12.0f ns/op %10.1f allocs/op", b.Name, res.NsPerOp, res.AllocsPerOp)
+		}
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark matches %q", match)
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	return rep, nil
+}
+
+// RunOnce executes one iteration of every matching benchmark without
+// timing and returns the fingerprints by name — the determinism test's
+// entry point, and a cheap smoke test that every suite entry runs.
+func RunOnce(sc Scale, match string) (map[string]Fingerprint, error) {
+	sc = sc.fillDefaults()
+	fps := make(map[string]Fingerprint)
+	for _, b := range Suite() {
+		if match != "" && !strings.Contains(b.Name, match) {
+			continue
+		}
+		iter, err := b.Setup(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: setup: %w", b.Name, err)
+		}
+		fp, err := iter()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", b.Name, err)
+		}
+		fps[b.Name] = fp
+	}
+	if len(fps) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark matches %q", match)
+	}
+	return fps, nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyScale keeps determinism runs fast: the suite's structure is
+// identical at any scale, so a small instance count exercises the same
+// fingerprint plumbing as the committed baseline.
+var tinyScale = Scale{Instances: 6, Seed: 7, BenchTime: time.Millisecond}
+
+// TestSuiteDeterminism: two runs of the suite with the same seed
+// produce identical fingerprints — the metric inputs (instance counts,
+// makespan/ratio checksums) — regardless of the exp harness's worker
+// count. This extends the exp package's worker-determinism guarantee
+// to every benchmark in the suite: throughput numbers always measure
+// the same work.
+func TestSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every suite benchmark three times")
+	}
+	base, err := RunOnce(tinyScale, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(Suite()) {
+		t.Fatalf("RunOnce covered %d of %d suite entries", len(base), len(Suite()))
+	}
+
+	for _, workers := range []int{1, 4} {
+		sc := tinyScale
+		sc.Workers = workers
+		again, err := RunOnce(sc, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, fp := range base {
+			if got := again[name]; got != fp {
+				t.Errorf("%s: fingerprint with Workers=%d = %+v, want %+v", name, workers, got, fp)
+			}
+		}
+	}
+}
+
+// TestSuiteSeedSensitivity: a different seed must change at least the
+// exp fingerprints — otherwise the "fixed-seed" claim is vacuous and
+// the determinism test could pass on constants.
+func TestSuiteSeedSensitivity(t *testing.T) {
+	a, err := RunOnce(tinyScale, "exp/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tinyScale
+	sc.Seed = 8
+	b, err := RunOnce(sc, "exp/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for name := range a {
+		if a[name] != b[name] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("changing the seed changed no exp fingerprint")
+	}
+}
+
+// TestMeasureReportsWork: the timing harness attributes fingerprints
+// and computes throughput from them.
+func TestMeasureReportsWork(t *testing.T) {
+	calls := 0
+	res, err := measure(func() (Fingerprint, error) {
+		calls++
+		return Fingerprint{Instances: 10, Decisions: 20, Checksum: 3}, nil
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters < 1 || calls < 2 { // warm-up + at least one timed batch
+		t.Fatalf("iters = %d, calls = %d", res.Iters, calls)
+	}
+	if res.Fingerprint != (Fingerprint{Instances: 10, Decisions: 20, Checksum: 3}) {
+		t.Fatalf("fingerprint = %+v", res.Fingerprint)
+	}
+	if res.NsPerOp <= 0 || res.InstancesPerSec <= 0 || res.DecisionsPerSec <= 0 {
+		t.Fatalf("throughput not derived: %+v", res)
+	}
+}
+
+// TestRunProducesReport: an end-to-end timed run over a cheap subset
+// yields a well-formed, sorted report.
+func TestRunProducesReport(t *testing.T) {
+	rep, err := Run(tinyScale, "dag/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion || len(rep.Results) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for i, res := range rep.Results {
+		if res.Name == "" || res.NsPerOp <= 0 || res.Iters <= 0 {
+			t.Errorf("result %d malformed: %+v", i, res)
+		}
+		if i > 0 && rep.Results[i-1].Name > res.Name {
+			t.Errorf("results not sorted: %q before %q", rep.Results[i-1].Name, res.Name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// SchemaVersion is the BENCH_<n>.json schema. Bump it when Result
+// fields change meaning; the comparator refuses to diff mismatched
+// schemas rather than report nonsense deltas.
+const SchemaVersion = 1
+
+// Report is a finished suite run — the payload of BENCH_<n>.json.
+// Environment fields identify what the numbers were measured on;
+// scale fields pin the workload so two reports are comparable only
+// when their work matches.
+type Report struct {
+	Schema int `json:"schema"`
+
+	// Note is a free-form label ("pre-optimization baseline",
+	// "ci@<sha>") set with fhbench -note.
+	Note string `json:"note,omitempty"`
+
+	// Scale of the run.
+	Seed      int64 `json:"seed"`
+	Instances int   `json:"instances"`
+
+	// Environment.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Results []Result `json:"results"`
+}
+
+// NewReport returns an empty report stamped with the current
+// environment and the run's scale.
+func NewReport(sc Scale) *Report {
+	return &Report{
+		Schema:     SchemaVersion,
+		Seed:       sc.Seed,
+		Instances:  sc.Instances,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Result returns the named result, or nil if absent.
+func (r *Report) Result(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report in the committed BENCH_<n>.json format:
+// indented, trailing newline, stable field order.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report and validates its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: report schema %d, this binary speaks %d", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// LoadReport reads a report from a file.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteTable renders the human-readable view of a report.
+func (r *Report) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "suite seed=%d instances=%d %s %s/%s procs=%d\n",
+		r.Seed, r.Instances, r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-32s %14s %12s %12s %14s %14s\n",
+		"benchmark", "ns/op", "allocs/op", "B/op", "instances/s", "decisions/s"); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		if _, err := fmt.Fprintf(w, "%-32s %14.0f %12.1f %12.1f %14.0f %14.0f\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp,
+			res.InstancesPerSec, res.DecisionsPerSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,7 +14,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 
 	"fhs/internal/sim"
@@ -98,7 +97,3 @@ func MustNew(name string, p Params) sim.Scheduler {
 func newRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
-
-// sortFloats sorts in ascending order; split out for clarity at call
-// sites comparing balance vectors.
-func sortFloats(v []float64) { sort.Float64s(v) }

@@ -21,9 +21,10 @@ func NewDType() *DType { return &DType{} }
 // Name implements sim.Scheduler.
 func (*DType) Name() string { return "DType" }
 
-// Prepare implements sim.Scheduler, caching the distances.
+// Prepare implements sim.Scheduler. The distances come from the
+// graph's shared memo (computed once per graph, read-only here).
 func (d *DType) Prepare(g *dag.Graph, _ sim.Config) error {
-	d.dist = dag.DifferentTypeDistances(g)
+	d.dist = g.SharedDifferentTypeDistances()
 	return nil
 }
 

@@ -23,9 +23,10 @@ func NewMaxDP() *MaxDP { return &MaxDP{} }
 // Name implements sim.Scheduler.
 func (*MaxDP) Name() string { return "MaxDP" }
 
-// Prepare implements sim.Scheduler, caching descendant values.
+// Prepare implements sim.Scheduler. The descendant values come from
+// the graph's shared memo (computed once per graph, read-only here).
 func (m *MaxDP) Prepare(g *dag.Graph, _ sim.Config) error {
-	m.desc = dag.DescendantValues(g)
+	m.desc = g.SharedDescendantValues()
 	return nil
 }
 

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 
 	"fhs/internal/dag"
-	"fhs/internal/metrics"
 	"fhs/internal/sim"
 )
 
@@ -111,11 +110,17 @@ type MQB struct {
 	opts MQBOptions
 	rng  *rand.Rand
 
-	desc [][]float64 // per-task, per-type descendant estimates
+	// desc holds per-task, per-type descendant estimates. With precise
+	// information it aliases the graph's shared memoized slices (never
+	// written); the randomized information models perturb a private
+	// copy.
+	desc [][]float64
 
 	// Scratch buffers reused across Pick calls to stay allocation-free
-	// on the hot path.
-	cand, best []float64
+	// on the hot path: candidate/incumbent balance vectors plus the
+	// per-call hoisted queue loads and pool sizes.
+	cand, best  []float64
+	base, procs []float64
 }
 
 // NewMQB returns a Multi-Queue Balancing scheduler with the given
@@ -143,19 +148,26 @@ func (m *MQB) Name() string {
 	return name
 }
 
-// Prepare implements sim.Scheduler: compute descendant values at the
-// configured lookahead, then perturb them per the information model.
-// A randomized MQB reused across jobs draws fresh noise every Prepare.
+// Prepare implements sim.Scheduler: fetch the graph's memoized
+// descendant values at the configured lookahead — jobs are reused
+// across schedulers and runs, so the reverse-topological pass happens
+// once per (graph, lookahead), not once per Prepare — then perturb a
+// private copy per the information model. A randomized MQB reused
+// across jobs draws fresh noise every Prepare.
 func (m *MQB) Prepare(g *dag.Graph, _ sim.Config) error {
+	var src [][]float64
 	if m.opts.Lookahead == LookaheadOneStep {
-		m.desc = dag.OneStepTypedDescendantValues(g)
+		src = g.SharedOneStepTypedDescendantValues()
 	} else {
-		m.desc = dag.TypedDescendantValues(g)
+		src = g.SharedTypedDescendantValues()
 	}
 	switch m.opts.Info {
 	case InfoPrecise:
-		// Exact values; nothing to do.
+		// Exact values: read the shared slices directly. Pick never
+		// writes through m.desc, which keeps the graph's cache intact.
+		m.desc = src
 	case InfoExp:
+		m.desc = copyRows(src, g.K())
 		for _, row := range m.desc {
 			for a, v := range row {
 				if v > 0 {
@@ -164,6 +176,7 @@ func (m *MQB) Prepare(g *dag.Graph, _ sim.Config) error {
 			}
 		}
 	case InfoNoise:
+		m.desc = copyRows(src, g.K())
 		avgWork := 0.0
 		if n := g.NumTasks(); n > 0 {
 			avgWork = float64(g.TotalWork()) / float64(n)
@@ -178,9 +191,24 @@ func (m *MQB) Prepare(g *dag.Graph, _ sim.Config) error {
 	default:
 		return fmt.Errorf("core: unknown MQB info model %d", m.opts.Info)
 	}
-	m.cand = make([]float64, g.K())
-	m.best = make([]float64, g.K())
+	k := g.K()
+	m.cand = make([]float64, k)
+	m.best = make([]float64, k)
+	m.base = make([]float64, k)
+	m.procs = make([]float64, k)
 	return nil
+}
+
+// copyRows clones a [task][type] table into fresh flat storage, so
+// perturbing information models never touch the graph's shared cache.
+func copyRows(src [][]float64, k int) [][]float64 {
+	d := make([][]float64, len(src))
+	flat := make([]float64, len(src)*k)
+	for i, row := range src {
+		d[i], flat = flat[:k:k], flat[k:]
+		copy(d[i], row)
+	}
+	return d
 }
 
 // Pick implements sim.Scheduler. For each candidate ready α-task v it
@@ -188,6 +216,15 @@ func (m *MQB) Prepare(g *dag.Graph, _ sim.Config) error {
 // (removing its remaining work) and v's descendant estimates have been
 // added to every queue, and keeps the candidate whose snapshot has the
 // best balance. Ties keep the earliest-ready candidate.
+//
+// Between candidates only the α-queue term and the candidate's
+// descendant row change, so the queue loads and pool sizes are hoisted
+// out of the candidate loop, and the paper's lexicographic rule is
+// evaluated by sortBeats — an incremental selection sort that exits at
+// the first position deciding the comparison instead of fully sorting
+// every snapshot. The decision sequence is bit-identical to the
+// straightforward sort-then-LexLess formulation (asserted by the
+// differential test in mqb_equiv_test.go).
 func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 	q := st.Ready(alpha)
 	if len(q) == 0 {
@@ -197,19 +234,25 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 		return q[0], true
 	}
 	k := st.K()
+	base, procs := m.base[:k], m.procs[:k]
+	for a := 0; a < k; a++ {
+		base[a] = float64(st.QueueWork(dag.Type(a)))
+		procs[a] = float64(st.Procs(dag.Type(a)))
+	}
 	best := dag.NoTask
 	var bestScore float64
 	for _, id := range q {
 		row := m.desc[id]
+		rem := float64(st.Remaining(id))
 		for a := 0; a < k; a++ {
-			work := float64(st.QueueWork(dag.Type(a))) + row[a]
+			work := base[a] + row[a]
 			if dag.Type(a) == alpha {
-				work -= float64(st.Remaining(id))
+				work -= rem
 			}
 			// A fully crashed pool (fault timelines can drive Pα(t) to 0)
 			// has infinite x-utilization for any pending work, not NaN.
-			if procs := st.Procs(dag.Type(a)); procs > 0 {
-				m.cand[a] = work / float64(procs)
+			if procs[a] > 0 {
+				m.cand[a] = work / procs[a]
 			} else if work > 0 {
 				m.cand[a] = math.Inf(1)
 			} else {
@@ -218,8 +261,11 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 		}
 		switch m.opts.Balance {
 		case BalanceLex:
-			sortFloats(m.cand)
-			if best == dag.NoTask || metrics.LexLess(m.best, m.cand) {
+			if best == dag.NoTask {
+				selectionSort(m.cand)
+				best = id
+				m.best, m.cand = m.cand, m.best
+			} else if sortBeats(m.cand, m.best) {
 				best = id
 				m.best, m.cand = m.cand, m.best
 			}
@@ -244,4 +290,50 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 		}
 	}
 	return best, true
+}
+
+// sortBeats reports whether cand's balance vector, once sorted
+// ascending, lexicographically beats best (which is already sorted):
+// at the first differing position the larger value wins — exactly
+// metrics.LexLess(best, sorted(cand)). It selection-sorts cand in
+// place one position at a time and exits as soon as a position decides
+// the comparison, so a candidate losing on the smallest x-utilization
+// — the common case — costs one min-scan instead of a full K-sort.
+// When it returns true, cand is fully sorted and ready to adopt as the
+// new incumbent; when false, cand's tail past the deciding position is
+// unspecified (losing vectors are discarded). Equal vectors return
+// false: ties keep the earlier-ready incumbent.
+func sortBeats(cand, best []float64) bool {
+	for i := range cand {
+		min := i
+		for j := i + 1; j < len(cand); j++ {
+			if cand[j] < cand[min] {
+				min = j
+			}
+		}
+		cand[i], cand[min] = cand[min], cand[i]
+		if cand[i] != best[i] {
+			if cand[i] < best[i] {
+				return false
+			}
+			selectionSort(cand[i+1:])
+			return true
+		}
+	}
+	return false
+}
+
+// selectionSort sorts ascending in place. The balance vectors have
+// K ≤ 6 entries in every paper workload, where this beats the stdlib
+// sort's dispatch overhead on the engine's hottest loop.
+func selectionSort(v []float64) {
+	for i := range v {
+		min := i
+		for j := i + 1; j < len(v); j++ {
+			if v[j] < v[min] {
+				min = j
+			}
+		}
+		v[i], v[min] = v[min], v[i]
+	}
 }

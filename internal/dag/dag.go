@@ -47,6 +47,12 @@ type Graph struct {
 	totalWork int64   // T1(J)
 	spans     []int64 // per-task remaining span (task work + longest chain below)
 	span      int64   // critical-path length T∞(J)
+
+	// look memoizes the lookahead quantities of descend.go, computed
+	// lazily because only offline schedulers consume them. It contains
+	// sync.Onces, which is why Graph values must not be copied (they
+	// are passed by pointer everywhere; go vet's copylocks enforces it).
+	look lookaheads
 }
 
 // K returns the number of resource types the graph was declared with.

@@ -121,7 +121,7 @@ func (*BalancedMQB) Name() string { return "BalancedMQB" }
 func (b *BalancedMQB) Prepare(s *Stream, procs []int) error {
 	b.desc = make([][][]float64, s.NumJobs())
 	for j := 0; j < s.NumJobs(); j++ {
-		b.desc[j] = dag.TypedDescendantValues(s.Job(j).Graph)
+		b.desc[j] = s.Job(j).Graph.SharedTypedDescendantValues()
 	}
 	b.cand = make([]float64, s.K())
 	b.best = make([]float64, s.K())

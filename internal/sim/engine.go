@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -66,24 +65,88 @@ type runningTask struct {
 }
 
 // runningHeap is a min-heap on finish time, breaking ties on task ID
-// for determinism.
+// for determinism. The push/pop/remove methods replicate
+// container/heap's sift algorithms on the concrete element type:
+// going through heap.Interface boxes every entry into an interface
+// value, which was one heap allocation per task start — the dominant
+// allocation churn of the non-preemptive engine's event handling.
 type runningHeap []runningTask
 
-func (h runningHeap) Len() int { return len(h) }
-func (h runningHeap) Less(i, j int) bool {
+func (h runningHeap) less(i, j int) bool {
 	if h[i].finish != h[j].finish {
 		return h[i].finish < h[j].finish
 	}
 	return h[i].id < h[j].id
 }
-func (h runningHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *runningHeap) Push(x interface{}) { *h = append(*h, x.(runningTask)) }
-func (h *runningHeap) Pop() interface{} {
+
+func (h *runningHeap) push(rt runningTask) {
+	*h = append(*h, rt)
+	h.up(len(*h) - 1)
+}
+
+func (h *runningHeap) pop() runningTask {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	rt := old[0]
+	old[0], old[n] = old[n], old[0]
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	return rt
+}
+
+// remove deletes and returns the element at index i, restoring the
+// heap invariant (container/heap.Remove's swap-then-fix algorithm, so
+// the internal ordering stays bit-identical to the previous
+// implementation).
+func (h *runningHeap) remove(i int) runningTask {
+	old := *h
+	n := len(old) - 1
+	rt := old[i]
+	if i != n {
+		old[i], old[n] = old[n], old[i]
+		*h = old[:n]
+		if !(*h).down(i) {
+			(*h).up(i)
+		}
+	} else {
+		*h = old[:n]
+	}
+	return rt
+}
+
+func (h runningHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves, reporting whether it moved.
+func (h runningHeap) down(i int) bool {
+	i0 := i
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return i > i0
 }
 
 func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
@@ -115,7 +178,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				}
 				runBusy[a]++
 				res.Decisions++
-				heap.Push(&running, runningTask{finish: st.now + st.remaining[id], start: st.now, id: id})
+				running.push(runningTask{finish: st.now + st.remaining[id], start: st.now, id: id})
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
 				}
@@ -126,7 +189,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		// running, a pending breakpoint still counts — crashed pools may
 		// recover and unblock the schedule.
 		next := int64(-1)
-		if running.Len() > 0 {
+		if len(running) > 0 {
 			next = running[0].finish
 		}
 		nextChange := int64(-1)
@@ -153,8 +216,8 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		// case the whole execution is wasted and the task re-enters its
 		// ready queue with full work.
 		requeued := false
-		for running.Len() > 0 && running[0].finish == t {
-			rt := heap.Pop(&running).(runningTask)
+		for len(running) > 0 && running[0].finish == t {
+			rt := running.pop()
 			alpha := g.Task(rt.id).Type
 			work := st.remaining[rt.id]
 			res.BusyTime[alpha] += work
@@ -196,7 +259,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 							victim = i
 						}
 					}
-					rt := heap.Remove(&running, victim).(runningTask)
+					rt := running.remove(victim)
 					elapsed := t - rt.start
 					res.BusyTime[alpha] += elapsed
 					res.WastedWork[alpha] += elapsed
