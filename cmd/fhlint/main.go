@@ -1,0 +1,103 @@
+// Command fhlint runs the project's determinism-and-safety lint suite
+// (internal/lint) over module packages and exits nonzero on findings.
+//
+// Usage:
+//
+//	fhlint ./...                 # whole module (what CI gates on)
+//	fhlint ./internal/core       # one package
+//	fhlint -list                 # print the suite
+//	fhlint -analyzers=mapiter,detrand ./...
+//
+// Diagnostics print as file:line:col: [analyzer] message. A finding is
+// suppressed by an explanatory directive on the offending line or the
+// line above:
+//
+//	//fhlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory and the analyzer name must match; malformed
+// directives are themselves findings.
+//
+// fhlint is a standalone multichecker rather than a `go vet -vettool`
+// plugin: the vettool protocol is implemented by x/tools' unitchecker,
+// and this module is deliberately dependency-free (the build
+// environment has no module proxy), so the stdlib-only driver in
+// internal/lint loads and typechecks packages itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fhs/internal/lint"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "print the analyzers in the suite and exit")
+		only   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		nofilt = flag.Bool("all-packages", false, "ignore per-analyzer package scoping (detrand/seedflow apply everywhere)")
+	)
+	flag.Parse()
+
+	suite := lint.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fhlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhlint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, suite, !*nofilt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fhlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fhlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

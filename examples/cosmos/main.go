@@ -33,6 +33,7 @@ type stage struct {
 
 func main() {
 	log.SetFlags(0)
+	//fhlint:ignore seedflow pedagogical example: a fixed literal seed keeps the walkthrough output reproducible
 	rng := rand.New(rand.NewSource(2026))
 
 	// Three server classes (e.g. raw-log store, index store, scratch).

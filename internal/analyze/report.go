@@ -7,7 +7,10 @@ import (
 )
 
 // WriteReport renders the analysis as an aligned text table, one row
-// per resource type.
+// per resource type. Rows are emitted in type order because rep.Types
+// is a type-indexed slice, never a map — output here is diffed by
+// tests and eyeballs, so iteration order must be stable (fhlint's
+// mapiter analyzer guards against a map sneaking in).
 func WriteReport(w io.Writer, rep *Report) error {
 	if _, err := fmt.Fprintf(w, "schedule analysis: makespan %d\n", rep.Makespan); err != nil {
 		return err

@@ -96,7 +96,10 @@ func LoadReport(path string) (*Report, error) {
 	return r, nil
 }
 
-// WriteTable renders the human-readable view of a report.
+// WriteTable renders the human-readable view of a report. Results is
+// a slice in suite registration order — reports stay byte-comparable
+// across runs because nothing here iterates a map (fhlint's mapiter
+// analyzer keeps it that way).
 func (r *Report) WriteTable(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "suite seed=%d instances=%d %s %s/%s procs=%d\n",
 		r.Seed, r.Instances, r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS); err != nil {

@@ -168,6 +168,11 @@ func FigureFaults(o Options) []Spec {
 
 // Figures maps figure identifiers ("4".."8" and the beyond-paper
 // "faults" robustness study) to their preset builders.
+//
+// Ordering contract: callers that iterate this map must collect and
+// sort the keys before producing output or scheduling work (cmd/fhsim
+// does), since Go's map iteration order is randomized. fhlint's
+// mapiter analyzer enforces the collect-then-sort shape.
 func Figures() map[string]func(Options) []Spec {
 	return map[string]func(Options) []Spec{
 		"4":      Figure4,

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/analysistest: fixture packages under
+// testdata/src/<name> annotate offending lines with
+//
+//	code // want "regexp" "another regexp"
+//
+// and AnalyzerTest checks that the analyzer's (suppression-filtered)
+// diagnostics match the expectations exactly — every want must be hit
+// by a diagnostic on its line, and every diagnostic must be claimed by
+// a want. Fixtures therefore double as regression proofs: delete the
+// analyzer's detection logic and the fixture fails with unmatched
+// wants.
+
+// TB is the subset of *testing.T the fixture runner needs, split out
+// so the runner itself stays testable.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// fixtureChecker shares one FileSet and source importer across all
+// fixture loads in a process, so the standard library is typechecked
+// once instead of once per fixture.
+var fixtureChecker = struct {
+	once sync.Once
+	fset *token.FileSet
+	imp  types.Importer
+}{}
+
+func fixtureImporter() (*token.FileSet, types.Importer) {
+	fixtureChecker.once.Do(func() {
+		fixtureChecker.fset = token.NewFileSet()
+		fixtureChecker.imp = importer.ForCompiler(fixtureChecker.fset, "source", nil)
+	})
+	return fixtureChecker.fset, fixtureChecker.imp
+}
+
+// LoadFixture parses and typechecks one fixture package directory.
+func LoadFixture(dir string) (*Package, error) {
+	fset, imp := fixtureImporter()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	path := filepath.Base(dir)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck fixture %s: %w", dir, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// wantRe matches one quoted expectation in a // want comment: either a
+// double-quoted string (with \" escapes) or a raw backtick string.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations collects // want annotations from the fixture.
+func parseExpectations(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Line-comment form `code // want "re"`, or block-comment
+				// form `/* want "re" */` for lines whose line comment is
+				// already taken by an //fhlint:ignore directive.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 && strings.HasPrefix(c.Text, "/* want ") {
+					idx = 0
+				}
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					unq := m[2] // raw backtick form
+					if m[1] != "" || m[2] == "" {
+						unq = strings.ReplaceAll(m[1], `\"`, `"`)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// AnalyzerTest runs one analyzer over the fixture package in dir and
+// checks its diagnostics against the // want annotations. The package
+// path filter (Analyzer.Applies) is deliberately bypassed so fixtures
+// exercise detection logic regardless of the driver's scoping policy;
+// the //fhlint:ignore suppression filter IS applied, so suppression
+// behavior is testable with fixtures too.
+func AnalyzerTest(t TB, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	wants, err := parseExpectations(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return lessPosition(diags[i], diags[j]) })
+	var unexpected []Diagnostic
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			unexpected = append(unexpected, d)
+		}
+	}
+	for _, d := range unexpected {
+		t.Errorf("%s: unexpected diagnostic: [%s] %s", posString(d.Pos), d.Analyzer, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

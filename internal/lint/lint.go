@@ -1,0 +1,284 @@
+// Package lint implements fhlint, the project's determinism-and-safety
+// static analysis suite.
+//
+// The paper's results are reproducible only because every scheduler
+// decision is bit-deterministic for a given seed. The runtime layers —
+// internal/verify's auditor and internal/bench's fingerprints — check
+// that property after the fact; this package enforces it at the source
+// level, the way production schedulers gate merges on purpose-built
+// linters rather than reviewer vigilance.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, an analysistest-style fixture runner) but is built on the
+// standard library's go/ast and go/types only: this module is
+// deliberately dependency-free, and the build environment has no module
+// proxy access, so x/tools is gated off rather than vendored. The
+// trade-offs are documented per analyzer; the nilness, shadow and
+// unusedwrite passes are conservative reimplementations of their
+// x/tools namesakes, not imports of them.
+//
+// Diagnostics can be suppressed with a directive comment
+//
+//	//fhlint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// analyzer name must match the diagnostic being suppressed and the
+// reason is mandatory; a malformed or unknown-analyzer directive is
+// itself a diagnostic, so suppressions cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It is the stdlib-only
+// counterpart of analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fhlint:ignore directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run executes the analyzer over one package worth of files,
+	// reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+
+	// Applies filters packages by import path when the analyzer runs
+	// through the driver (cmd/fhlint, TestRepoIsClean). nil means the
+	// analyzer applies everywhere. Fixture runs bypass the filter so
+	// testdata packages are always analyzed.
+	Applies func(pkgPath string) bool
+}
+
+// A Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// //fhlint:ignore directives are reported.
+const DirectiveAnalyzer = "fhlint"
+
+// Analyzers returns the full fhlint suite in stable order: the four
+// project-specific determinism analyzers followed by the stdlib
+// reimplementations of the x/tools safety passes.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Detrand,
+		Mapiter,
+		Memosafety,
+		Seedflow,
+		Nilness,
+		Shadow,
+		Unusedwrite,
+	}
+}
+
+// analyzerNames returns the set of valid names for ignore directives.
+func analyzerNames(analyzers []*Analyzer) map[string]bool {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// Run executes the given analyzers over one loaded package, applies the
+// //fhlint:ignore suppression filter, and returns the surviving
+// diagnostics sorted by position. When useFilters is true an analyzer
+// with a non-nil Applies that rejects the package path is skipped
+// (driver behavior); fixture runs pass false.
+func Run(pkg *Package, analyzers []*Analyzer, useFilters bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if useFilters && a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = Filter(pkg.Fset, pkg.Files, analyzerNames(Analyzers()), diags)
+	sort.Slice(diags, func(i, j int) bool { return lessPosition(diags[i], diags[j]) })
+	return diags, nil
+}
+
+func lessPosition(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
+}
+
+// directive is one parsed //fhlint:ignore comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	bad      string // non-empty: why the directive is malformed
+	pos      token.Pos
+}
+
+const directivePrefix = "//fhlint:ignore"
+
+// parseDirectives extracts every //fhlint:ignore directive from the
+// files' comments, validating analyzer names against known.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				d := directive{
+					file: fset.Position(c.Pos()).Filename,
+					line: fset.Position(c.Pos()).Line,
+					pos:  c.Pos(),
+				}
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// "//fhlint:ignoreX" is some other token, not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "directive needs an analyzer name and a reason: //fhlint:ignore <analyzer> <reason>"
+				case !known[fields[0]]:
+					d.bad = fmt.Sprintf("directive names unknown analyzer %q", fields[0])
+				case len(fields) == 1:
+					d.bad = fmt.Sprintf("directive for %q is missing the mandatory reason", fields[0])
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter applies the //fhlint:ignore directives found in files to
+// diags: a diagnostic is dropped when a well-formed directive naming
+// its analyzer sits on the same line or the line directly above it.
+// Malformed directives suppress nothing and are appended as
+// DirectiveAnalyzer diagnostics, so a typoed suppression fails the
+// lint run instead of silently doing nothing.
+func Filter(fset *token.FileSet, files []*ast.File, known map[string]bool, diags []Diagnostic) []Diagnostic {
+	dirs := parseDirectives(fset, files, known)
+	if len(dirs) == 0 {
+		return diags
+	}
+	// (file, line, analyzer) pairs a directive covers.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool)
+	for _, d := range dirs {
+		if d.bad != "" {
+			continue
+		}
+		covered[key{d.file, d.line, d.analyzer}] = true
+		covered[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, dg := range diags {
+		if covered[key{dg.Pos.Filename, dg.Pos.Line, dg.Analyzer}] {
+			continue
+		}
+		kept = append(kept, dg)
+	}
+	for _, d := range dirs {
+		if d.bad == "" {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Pos:      fset.Position(d.pos),
+			Analyzer: DirectiveAnalyzer,
+			Message:  d.bad,
+		})
+	}
+	return kept
+}
+
+// pkgPathOf resolves the package an identifier's selector qualifies,
+// e.g. the "time" in time.Now. It returns "" when x is not a package
+// name.
+func pkgPathOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// isBuiltin reports whether the call's callee is the named builtin
+// (append, new, copy, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzers drives every analyzer over its analysistest fixture.
+// Each fixture seeds the bugs its analyzer exists to catch, so this
+// test fails if an analyzer stops detecting (unmatched // want) or
+// starts overreporting (unexpected diagnostic). It is part of the
+// tier-1 `go test ./...` path on purpose: a lint regression fails the
+// test suite, not just the lint job.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		a   *Analyzer
+		dir string
+	}{
+		{Detrand, "detrand"},
+		{Mapiter, "mapiter"},
+		{Memosafety, "memosafety"},
+		{Seedflow, "seedflow"},
+		{Nilness, "nilness"},
+		{Shadow, "shadow"},
+		{Unusedwrite, "unusedwrite"},
+		// The suppression-filter fixture runs under detrand: directives
+		// must be honored, analyzer-scoped, and carry a reason.
+		{Detrand, "ignore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			AnalyzerTest(t, tc.a, filepath.Join("testdata", "src", tc.dir))
+		})
+	}
+}
+
+// TestSuiteRegistry pins the suite composition: every analyzer is
+// registered exactly once with a name and a doc, since //fhlint:ignore
+// validation and CI output both key off the names.
+func TestSuiteRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+	for _, want := range []string{"detrand", "mapiter", "memosafety", "seedflow", "nilness", "shadow", "unusedwrite"} {
+		if !seen[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the module exactly as
+// cmd/fhlint does and fails on any finding. This is the source-level
+// determinism gate: `go test ./...` (tier 1) fails if a nondeterminism
+// pattern lands anywhere in production code, even before CI's
+// dedicated lint job runs.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing module packages", len(pkgs))
+	}
+	suite := Analyzers()
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, suite, true)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestDetrandScope pins the driver-level scoping policy: detrand
+// guards the determinism-critical packages and stays out of the
+// benchmark/CLI layers that legitimately read the wall clock.
+func TestDetrandScope(t *testing.T) {
+	for _, in := range []string{
+		"fhs/internal/core", "fhs/internal/dag", "fhs/internal/sim",
+		"fhs/internal/fault", "fhs/internal/exp", "fhs/internal/multi", "fhs/internal/opt",
+	} {
+		if !Detrand.Applies(in) {
+			t.Errorf("detrand should apply to %s", in)
+		}
+	}
+	for _, out := range []string{"fhs", "fhs/internal/bench", "fhs/cmd/fhbench", "fhs/cmd/fhsim", "fhs/internal/corex"} {
+		if Detrand.Applies(out) {
+			t.Errorf("detrand should not apply to %s", out)
+		}
+	}
+	if Seedflow.Applies("fhs/cmd/fhgen") {
+		t.Error("seedflow should exempt cmd/fhgen")
+	}
+	if !Seedflow.Applies("fhs/internal/workload") {
+		t.Error("seedflow should apply to internal/workload")
+	}
+}

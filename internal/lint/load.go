@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one typechecked, non-test compilation unit of the
+// module, ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. fhs/internal/dag
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader typechecks packages of the enclosing module without the go
+// command: module-internal imports are resolved by walking the module
+// tree and typechecking from source, the standard library through
+// go/importer's source importer. Both work offline, which is the point
+// — this repository builds in environments with no module proxy.
+//
+// Test files are deliberately excluded: fhlint's contracts concern
+// production scheduler code (tests are free to use literal seeds and
+// wall clocks for their own orchestration), and excluding them keeps
+// every package a single compilation unit.
+type Loader struct {
+	ModPath string // module path from go.mod
+	ModRoot string // absolute directory containing go.mod
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	errs map[string]error // import-path -> typecheck failure (memoized)
+}
+
+// NewLoader locates the module containing dir (walking up to the
+// nearest go.mod) and prepares a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModPath: modPath,
+		ModRoot: root,
+		fset:    fset,
+		pkgs:    map[string]*Package{},
+		errs:    map[string]error{},
+	}
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	l.std = src
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves patterns to packages and typechecks them. Supported
+// patterns: "./..." (every package under the module root), a relative
+// directory ("./internal/dag"), or an import path within the module.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkPackageDirs(l.ModRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(l.importPathFor(d))
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dirs, err := l.walkPackageDirs(filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(base, "./"))))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(l.importPathFor(d))
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			add(l.importPathFor(filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))))
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs returns every directory under root holding at least
+// one non-test .go file, skipping testdata, VCS and hidden trees.
+func (l *Loader) walkPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// importPathFor maps an absolute directory inside the module to its
+// import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor inverts importPathFor.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.ModPath {
+		return l.ModRoot
+	}
+	rel := strings.TrimPrefix(importPath, l.ModPath+"/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+}
+
+// inModule reports whether importPath belongs to this module.
+func (l *Loader) inModule(importPath string) bool {
+	return importPath == l.ModPath || strings.HasPrefix(importPath, l.ModPath+"/")
+}
+
+// Import implements types.Importer so module-internal dependencies of
+// the package under analysis resolve recursively through the loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.inModule(path) {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModRoot, 0)
+}
+
+// check parses and typechecks one module package, memoized.
+func (l *Loader) check(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[importPath]; ok {
+		return nil, err
+	}
+	pkg, err := l.checkUncached(importPath)
+	if err != nil {
+		l.errs[importPath] = err
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) checkUncached(importPath string) (*Package, error) {
+	dir := l.dirFor(importPath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no non-test Go files in %s", importPath, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

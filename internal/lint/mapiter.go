@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags the canonical Go nondeterminism source: iterating a map
+// in an order-sensitive way. A `for … range m` over a map is reported
+// when its body
+//
+//   - appends to a slice that is not visibly sorted afterwards in the
+//     same statement list,
+//   - sends on a channel, or
+//   - feeds a scheduler decision sink (a Pick method, heap.Push, or a
+//     Push/Enqueue queue operation),
+//
+// because in all three cases the map's random iteration order leaks
+// into schedule decisions or serialized output. Collect-then-sort is
+// the sanctioned pattern and is recognized: an append whose destination
+// is passed to a sort.* / slices.* call (or a .Sort method) later in
+// the enclosing statement list is not reported.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "forbid order-sensitive accumulation (append without a following sort, channel send, " +
+		"scheduler decision sinks) inside range-over-map bodies",
+	Run: runMapiter,
+}
+
+// decisionSinks are method names that commit a scheduling decision or
+// queue operation; feeding them in map order makes the schedule depend
+// on Go's randomized map iteration.
+var decisionSinks = map[string]bool{
+	"Pick":    true,
+	"Push":    true,
+	"Enqueue": true,
+}
+
+// stmtContext locates a statement inside its enclosing statement list.
+type stmtContext struct {
+	list  []ast.Stmt
+	index int
+}
+
+// stmtContexts maps every statement of f to its enclosing list, so an
+// analyzer can scan "the statements after this one".
+func stmtContexts(f *ast.File) map[ast.Stmt]stmtContext {
+	ctx := map[ast.Stmt]stmtContext{}
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			ctx[s] = stmtContext{list, i}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return ctx
+}
+
+func runMapiter(pass *Pass) error {
+	for _, f := range pass.Files {
+		ctx := stmtContexts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, ctx)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, ctx map[ast.Stmt]stmtContext) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: receiver observes the map's random iteration order")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.Info, call, "append") {
+					continue
+				}
+				var dst ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					dst = n.Lhs[i]
+				} else if len(n.Lhs) > 0 {
+					dst = n.Lhs[0]
+				}
+				if dst != nil && sortedAfter(pass, rng, dst, ctx) {
+					continue
+				}
+				pass.Reportf(call.Pos(), "append inside range over map without a sort after the loop: slice order is the map's random iteration order")
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass.Info, n); ok {
+				pass.Reportf(n.Pos(), "%s called inside range over map: decision order is the map's random iteration order", name)
+			}
+		}
+		return true
+	})
+}
+
+// sinkCall reports whether call commits a scheduling decision: a
+// method from decisionSinks or container/heap.Push.
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkg := pkgPathOf(info, sel.X); pkg != "" {
+		if pkg == "container/heap" && sel.Sel.Name == "Push" {
+			return "heap.Push", true
+		}
+		return "", false
+	}
+	if !decisionSinks[sel.Sel.Name] {
+		return "", false
+	}
+	// Only method calls count: a selector on a value with a matching
+	// method name, not a struct field holding a func.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether dst is visibly sorted in the statement
+// list after the range statement: a call to sort.* or slices.*
+// mentioning dst in its arguments, or a dst.Sort() method call.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, dst ast.Expr, ctx map[ast.Stmt]stmtContext) bool {
+	dstKey := types.ExprString(ast.Unparen(dst))
+	if dstKey == "_" {
+		return false
+	}
+	// Walk outward: the loop may sit inside an if/for nested in the
+	// block that performs the sort.
+	var stmt ast.Stmt = rng
+	for depth := 0; depth < 4; depth++ {
+		c, ok := ctx[stmt]
+		if !ok {
+			return false
+		}
+		for _, s := range c.list[c.index+1:] {
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					pkg := pkgPathOf(pass.Info, sel.X)
+					isSortCall := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort")) ||
+						(pkg == "" && sel.Sel.Name == "Sort" && types.ExprString(ast.Unparen(sel.X)) == dstKey)
+					if !isSortCall {
+						return true
+					}
+					if pkg == "" { // dst.Sort()
+						found = true
+						return false
+					}
+					for _, arg := range call.Args {
+						if strings.Contains(types.ExprString(arg), dstKey) {
+							found = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		// Hop to the enclosing statement if this list belongs to one.
+		parent := enclosingStmt(ctx, stmt)
+		if parent == nil {
+			return false
+		}
+		stmt = parent
+	}
+	return false
+}
+
+// enclosingStmt finds a statement in ctx whose span strictly contains
+// s, i.e. the statement owning the block s lives in.
+func enclosingStmt(ctx map[ast.Stmt]stmtContext, s ast.Stmt) ast.Stmt {
+	var best ast.Stmt
+	for cand := range ctx {
+		if cand == s || cand.Pos() > s.Pos() || cand.End() < s.End() {
+			continue
+		}
+		if cand.Pos() == s.Pos() && cand.End() == s.End() {
+			continue
+		}
+		if best == nil || (cand.Pos() >= best.Pos() && cand.End() <= best.End()) {
+			best = cand
+		}
+	}
+	return best
+}

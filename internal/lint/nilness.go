@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is a conservative, stdlib-only subset of
+// golang.org/x/tools/go/analysis/passes/nilness (which needs SSA and
+// therefore x/tools; this environment builds without a module proxy).
+//
+// It reports the one shape the full pass most often catches in
+// practice: inside the taken branch of `if x == nil`, a use of x that
+// is guaranteed to panic — dereferencing or selecting through a nil
+// pointer, indexing a nil slice, or calling a nil function. If the
+// branch reassigns x anywhere the variable is skipped entirely, so
+// `if x == nil { x = default }` never triggers.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc: "report guaranteed nil dereferences inside the taken branch of an `if x == nil` " +
+		"check (stdlib subset of x/tools nilness)",
+	Run: runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilComparedVar(pass.Info, ifStmt.Cond)
+			if obj == nil {
+				return true
+			}
+			if assignsTo(pass.Info, ifStmt.Body, obj) {
+				return true
+			}
+			reportNilUses(pass, ifStmt.Body, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparedVar matches `x == nil` / `nil == x` where x is a plain
+// variable of a nilable type, returning x's object.
+func nilComparedVar(info *types.Info, cond ast.Expr) types.Object {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	x := bin.X
+	if isNilIdent(info, x) {
+		x = bin.Y
+	} else if !isNilIdent(info, bin.Y) {
+		return nil
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Signature:
+		return obj
+	}
+	return nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// assignsTo reports whether body assigns to obj (including &obj, which
+// allows writes through a pointer).
+func assignsTo(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportNilUses flags panicking uses of the known-nil obj in body.
+func reportNilUses(pass *Pass, body ast.Node, obj types.Object) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == obj
+	}
+	_, isPtr := obj.Type().Underlying().(*types.Pointer)
+	_, isSlice := obj.Type().Underlying().(*types.Slice)
+	_, isFunc := obj.Type().Underlying().(*types.Signature)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if isPtr && isObj(n.X) {
+				pass.Reportf(n.Pos(), "dereference of %s, which is nil on this path", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			// Field reads through a nil pointer panic; method calls may
+			// legally have a nil receiver, so only FieldVal selections
+			// are flagged.
+			if sel, ok := pass.Info.Selections[n]; ok && isPtr && isObj(n.X) && sel.Kind() == types.FieldVal {
+				pass.Reportf(n.Pos(), "field access through %s, which is nil on this path", obj.Name())
+				return false
+			}
+		case *ast.IndexExpr:
+			if isSlice && isObj(n.X) {
+				pass.Reportf(n.Pos(), "index of %s, which is a nil slice on this path", obj.Name())
+			}
+		case *ast.CallExpr:
+			if isFunc && isObj(n.Fun) {
+				pass.Reportf(n.Pos(), "call of %s, which is a nil func on this path", obj.Name())
+			}
+		}
+		return true
+	})
+}

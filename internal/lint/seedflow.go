@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Seedflow forbids integer literals as seed arguments in production
+// code. Seeds must flow through configuration structs (exp.Options,
+// bench.Scale, fault.Config, MQBOptions.Seed, ...) so that one root
+// seed reproducibly derives every stream in a run; a literal buried in
+// a call site forks the seed space invisibly and breaks the
+// "fingerprints are a function of (seed, scale)" contract the
+// benchmark and fault subsystems rely on.
+//
+// Detection is type-driven: any call argument bound to a parameter
+// whose name contains "seed" (rand.NewSource's seed, rand.NewPCG's
+// seed1/seed2, this module's own seed parameters) that is an integer
+// literal — optionally negated — is reported. Struct literals like
+// exp.Options{Seed: 42} are the sanctioned pattern and are not
+// flagged. Tests are outside the driver's scope by construction, and
+// cmd/fhgen is exempt: its whole job is minting workloads from a
+// user-supplied or default literal seed.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc: "forbid integer literals passed as seed arguments; seeds must flow through " +
+		"config structs from a single root seed",
+	Run:     runSeedflow,
+	Applies: func(pkgPath string) bool { return pkgPath != "fhs/cmd/fhgen" },
+}
+
+func runSeedflow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+			if !ok {
+				return true
+			}
+			params := sig.Params()
+			for i, arg := range call.Args {
+				if i >= params.Len() {
+					break
+				}
+				p := params.At(i)
+				if sig.Variadic() && i == params.Len()-1 {
+					break
+				}
+				if !strings.Contains(strings.ToLower(p.Name()), "seed") {
+					continue
+				}
+				if lit, ok := intLiteral(arg); ok {
+					pass.Reportf(lit.Pos(), "integer literal passed as seed parameter %q of %s; thread the seed through a config struct",
+						p.Name(), calleeName(call))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// intLiteral unwraps parens and unary +/- around an INT literal.
+func intLiteral(e ast.Expr) (*ast.BasicLit, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return nil, false
+	}
+	return lit, true
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	return types.ExprString(ast.Unparen(call.Fun))
+}

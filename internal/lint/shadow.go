@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Shadow is a stdlib-only reimplementation of
+// golang.org/x/tools/go/analysis/passes/shadow (x/tools is gated off:
+// this environment builds without a module proxy). Like the original,
+// it reports an inner declaration that shadows a same-typed outer
+// function-local variable still used after the inner scope ends — the
+// pattern where `x := ...` inside a branch was almost certainly meant
+// to be `x = ...`, leaving the outer value stale.
+//
+// One refinement over the x/tools heuristic kills its noisiest false
+// positive (the `if _, err := ...` idiom): a use of the outer variable
+// that is preceded by a fresh assignment to it after the inner scope
+// ends cannot observe a stale value, so only uses reached by the
+// pre-shadow value are counted.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc: "report inner declarations that shadow a same-typed outer local still read after " +
+		"the inner scope ends without an intervening reassignment (stdlib port of x/tools shadow)",
+	Run: runShadow,
+}
+
+// objFlow records where a variable is read and where it is (re)written,
+// in position order.
+type objFlow struct {
+	reads  []token.Pos
+	writes []token.Pos
+}
+
+func runShadow(pass *Pass) error {
+	flows := map[types.Object]*objFlow{}
+	flow := func(o types.Object) *objFlow {
+		f := flows[o]
+		if f == nil {
+			f = &objFlow{}
+			flows[o] = f
+		}
+		return f
+	}
+
+	// Classify each identifier mentioning a variable as a read or a
+	// write. Idents on the left of = / := / ++ / -- and in their own
+	// declarations are writes; everything else is a read. Compound
+	// assignments (+=) read and write.
+	for _, file := range pass.Files {
+		writeIdent := map[*ast.Ident]bool{}
+		readAnyway := map[*ast.Ident]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						writeIdent[id] = true
+						if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+							readAnyway[id] = true // x += 1 reads x
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					writeIdent[id] = true
+					readAnyway[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := pass.Info.Defs[id].(*types.Var); ok && !obj.IsField() {
+				flow(obj).writes = append(flow(obj).writes, id.Pos())
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok || obj.IsField() {
+				return true
+			}
+			if writeIdent[id] {
+				flow(obj).writes = append(flow(obj).writes, id.Pos())
+				if readAnyway[id] {
+					flow(obj).reads = append(flow(obj).reads, id.Pos())
+				}
+			} else {
+				flow(obj).reads = append(flow(obj).reads, id.Pos())
+			}
+			return true
+		})
+	}
+	for _, f := range flows {
+		sort.Slice(f.reads, func(i, j int) bool { return f.reads[i] < f.reads[j] })
+		sort.Slice(f.writes, func(i, j int) bool { return f.writes[i] < f.writes[j] })
+	}
+
+	// Walk declarations in source order so diagnostics are emitted
+	// deterministically, rather than ranging over the Defs map.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			v, ok := pass.Info.Defs[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			checkShadowDecl(pass, id, v, flows)
+			return true
+		})
+	}
+	return nil
+}
+
+// staleReadAfter reports whether f has a read after pos that is not
+// preceded by a write in (pos, read): such a read still observes the
+// value the variable held when the inner scope ended.
+func staleReadAfter(f *objFlow, pos token.Pos) bool {
+	for _, r := range f.reads {
+		if r <= pos {
+			continue
+		}
+		clobbered := false
+		for _, w := range f.writes {
+			if w > pos && w < r {
+				clobbered = true
+				break
+			}
+		}
+		if !clobbered {
+			return true
+		}
+	}
+	return false
+}
+
+func checkShadowDecl(pass *Pass, id *ast.Ident, v *types.Var, flows map[types.Object]*objFlow) {
+	inner := v.Parent()
+	if inner == nil || inner == pass.Pkg.Scope() || inner.Parent() == nil {
+		return
+	}
+	// What would the name have resolved to without this declaration?
+	_, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == v || outer.IsField() {
+		return
+	}
+	// Only function-local shadowing: reusing package-level or universe
+	// names is a different (and much noisier) discussion.
+	if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+		return
+	}
+	if !types.Identical(outer.Type(), v.Type()) {
+		return
+	}
+	f := flows[outer]
+	if f == nil || !staleReadAfter(f, inner.End()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is read after this scope ends",
+		id.Name, pass.Fset.Position(outer.Pos()))
+}

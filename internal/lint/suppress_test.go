@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne parses a single synthetic file for Filter-level tests.
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// diagAt builds a synthetic diagnostic at a line of x.go.
+func diagAt(analyzer string, line int) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  "synthetic finding",
+	}
+}
+
+var testKnown = map[string]bool{"detrand": true, "mapiter": true}
+
+func TestFilterHonorsDirective(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//fhlint:ignore detrand reasons are written down
+	_ = 1
+	_ = 2 //fhlint:ignore detrand trailing form works too
+}
+`)
+	// Line 4 is the directive, line 5 the statement below it, line 6
+	// the trailing-directive statement.
+	kept := Filter(fset, files, testKnown, []Diagnostic{
+		diagAt("detrand", 5),
+		diagAt("detrand", 6),
+	})
+	if len(kept) != 0 {
+		t.Fatalf("want all diagnostics suppressed, kept %v", kept)
+	}
+}
+
+func TestFilterIsAnalyzerScoped(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//fhlint:ignore detrand only detrand is covered here
+	_ = 1
+}
+`)
+	kept := Filter(fset, files, testKnown, []Diagnostic{
+		diagAt("detrand", 5),
+		diagAt("mapiter", 5),
+	})
+	if len(kept) != 1 || kept[0].Analyzer != "mapiter" {
+		t.Fatalf("want only the mapiter diagnostic kept, got %v", kept)
+	}
+}
+
+func TestFilterRequiresReason(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//fhlint:ignore detrand
+	_ = 1
+}
+`)
+	kept := Filter(fset, files, testKnown, []Diagnostic{diagAt("detrand", 5)})
+	if len(kept) != 2 {
+		t.Fatalf("want the finding kept plus a directive error, got %v", kept)
+	}
+	var sawOriginal, sawDirectiveError bool
+	for _, d := range kept {
+		switch d.Analyzer {
+		case "detrand":
+			sawOriginal = true
+		case DirectiveAnalyzer:
+			sawDirectiveError = true
+			if !strings.Contains(d.Message, "missing the mandatory reason") {
+				t.Errorf("directive error message = %q", d.Message)
+			}
+		}
+	}
+	if !sawOriginal || !sawDirectiveError {
+		t.Fatalf("reasonless directive must suppress nothing and be reported itself; got %v", kept)
+	}
+}
+
+func TestFilterRejectsUnknownAnalyzer(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//fhlint:ignore detrnd typo in the analyzer name
+	_ = 1
+}
+`)
+	kept := Filter(fset, files, testKnown, []Diagnostic{diagAt("detrand", 5)})
+	if len(kept) != 2 {
+		t.Fatalf("want finding + unknown-analyzer error, got %v", kept)
+	}
+	found := false
+	for _, d := range kept {
+		if d.Analyzer == DirectiveAnalyzer && strings.Contains(d.Message, `unknown analyzer "detrnd"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want unknown-analyzer directive error, got %v", kept)
+	}
+}
+
+func TestFilterDoesNotReachFurtherLines(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//fhlint:ignore detrand a directive covers its line and the next, not the whole block
+	_ = 1
+	_ = 2
+}
+`)
+	kept := Filter(fset, files, testKnown, []Diagnostic{diagAt("detrand", 6)})
+	if len(kept) != 1 {
+		t.Fatalf("line 6 is outside the directive's reach; want the diagnostic kept, got %v", kept)
+	}
+}
+
+func TestFilterIgnoresEmptyDirectiveToken(t *testing.T) {
+	// "//fhlint:ignoreXYZ" is some other token, not a directive: no
+	// suppression and no directive error.
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//fhlint:ignoreXYZ detrand this is not our directive
+	_ = 1
+}
+`)
+	kept := Filter(fset, files, testKnown, []Diagnostic{diagAt("detrand", 5)})
+	if len(kept) != 1 || kept[0].Analyzer != "detrand" {
+		t.Fatalf("want the diagnostic kept with no directive error, got %v", kept)
+	}
+}

@@ -1,0 +1,34 @@
+// Package detrand is an analysistest fixture: each // want line seeds
+// a determinism bug the detrand analyzer must catch.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()    // want `wall-clock read time\.Now`
+	d := time.Since(t) // want `wall-clock read time\.Since`
+	return int64(d)
+}
+
+func globalSource() int {
+	r := new(rand.Rand) // want `new\(rand\.Rand\) is an unseeded generator`
+	_ = r
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return rand.Intn(10)               // want `rand\.Intn draws from the process-global source`
+}
+
+// seeded is the sanctioned pattern: randomness flows from an explicit
+// seeded generator, so nothing below is flagged.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// simulatedTime is fine: arithmetic on time values read from config is
+// not a wall-clock read.
+func simulatedTime(deadline time.Time) time.Time {
+	return deadline.Add(3 * time.Second)
+}

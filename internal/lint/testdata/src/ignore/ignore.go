@@ -1,0 +1,31 @@
+// Package ignore is an analysistest fixture for the //fhlint:ignore
+// suppression filter, run under the detrand analyzer: directives must
+// be honored (line above and same line), analyzer-scoped, and carry a
+// mandatory reason.
+package ignore
+
+import "time"
+
+func suppressedAbove() time.Time {
+	//fhlint:ignore detrand fixture: directive on the line above covers the finding
+	return time.Now()
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //fhlint:ignore detrand fixture: trailing directives also count
+}
+
+func wrongAnalyzer() time.Time {
+	//fhlint:ignore mapiter fixture: directives are analyzer-scoped, so this does not cover detrand
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+func missingReason() time.Time {
+	/* want `directive for .detrand. is missing the mandatory reason` */ //fhlint:ignore detrand
+	return time.Now()                                                    // want `wall-clock read time\.Now`
+}
+
+func unknownAnalyzer() time.Time {
+	/* want `directive names unknown analyzer .nosuch.` */ //fhlint:ignore nosuch misspelled analyzers must not silently suppress
+	return time.Now()                                      // want `wall-clock read time\.Now`
+}

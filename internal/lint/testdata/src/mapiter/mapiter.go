@@ -1,0 +1,75 @@
+// Package mapiter is an analysistest fixture: each // want line seeds
+// an order-sensitive map iteration the mapiter analyzer must catch.
+package mapiter
+
+import (
+	"container/heap"
+	"sort"
+)
+
+type sched struct{}
+
+func (sched) Pick(id int) {}
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside range over map without a sort`
+	}
+	return keys
+}
+
+// keysSorted is the sanctioned collect-then-sort pattern: the append
+// destination is sorted in the same statement list after the loop.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func send(m map[int]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func pick(m map[int]int, s sched) {
+	for id := range m {
+		s.Pick(id) // want `Pick called inside range over map`
+	}
+}
+
+func pushHeap(m map[int]int, h *intHeap) {
+	for _, v := range m {
+		heap.Push(h, v) // want `heap\.Push called inside range over map`
+	}
+}
+
+// sliceAccumulation is fine: ranging a slice is deterministic.
+func sliceAccumulation(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// mapToMap is fine: writing another map is order-independent.
+func mapToMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Package nilness is an analysistest fixture: each // want line seeds
+// a guaranteed nil dereference the nilness analyzer must catch.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefField(n *node) int {
+	if n == nil {
+		return n.val // want `field access through n, which is nil on this path`
+	}
+	return n.val
+}
+
+func derefStar(n *node) node {
+	if nil == n {
+		return *n // want `dereference of n, which is nil on this path`
+	}
+	return *n
+}
+
+func indexNilSlice(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `index of xs, which is a nil slice on this path`
+	}
+	return xs[0]
+}
+
+func callNilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `call of f, which is a nil func on this path`
+	}
+	return f()
+}
+
+// guarded is fine: the branch reassigns before use, the common
+// default-filling idiom.
+func guarded(n *node) int {
+	if n == nil {
+		n = &node{val: 1}
+	}
+	return n.val
+}
+
+// lenOfNil is fine: len of a nil slice is legal.
+func lenOfNil(xs []int) int {
+	if xs == nil {
+		return len(xs)
+	}
+	return len(xs)
+}

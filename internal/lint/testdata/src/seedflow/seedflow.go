@@ -1,0 +1,40 @@
+// Package seedflow is an analysistest fixture: each // want line seeds
+// a literal-seed call the seedflow analyzer must catch.
+package seedflow
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+func build(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func deriveStream(rootSeed, stream int64) *rand.Rand {
+	return build(rootSeed + stream)
+}
+
+func literalToStdlib() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `integer literal passed as seed parameter "seed" of rand\.NewSource`
+}
+
+func literalToOwnFunc() *rand.Rand {
+	return build(-7) // want `integer literal passed as seed parameter "seed" of build`
+}
+
+// threaded is the sanctioned pattern: the seed flows from a config
+// struct, and a struct literal is where a literal seed may live.
+func threaded() *rand.Rand {
+	cfg := Config{Seed: 42}
+	return build(cfg.Seed)
+}
+
+func repeat(count int, seed int64) int64 { return seed * int64(count) }
+
+// notASeed is fine: literals bound to parameters not named like a
+// seed (count here, n in Intn) are no business of this analyzer, and
+// non-literal seed expressions derived from a root seed are the whole
+// point.
+func notASeed(root int64) int64 {
+	r := build(root + 1)
+	r.Intn(10)
+	return repeat(3, root)
+}

@@ -1,0 +1,48 @@
+// Package shadow is an analysistest fixture: each // want line seeds a
+// stale-value shadowing bug the shadow analyzer must catch.
+package shadow
+
+import "strconv"
+
+// parseLast means to return the last parsed value, but the := inside
+// the loop declares fresh variables, so the function always returns
+// the zero values: the archetypal shadow bug.
+func parseLast(ss []string) (int, error) {
+	var last int
+	var err error
+	for _, s := range ss {
+		if s != "" {
+			last, err := strconv.Atoi(s) // want `declaration of "last" shadows` `declaration of "err" shadows`
+			_ = last
+			_ = err
+		}
+	}
+	return last, err
+}
+
+// reassignedBeforeRead is fine: the outer err is freshly assigned
+// after the shadowing scope, so no read can observe a stale value —
+// the `if v, err := ...` idiom must not be flagged.
+func reassignedBeforeRead(ss []string) error {
+	var err error
+	for _, s := range ss {
+		if v, err := strconv.Atoi(s); err == nil {
+			_ = v
+		}
+	}
+	err = touch()
+	return err
+}
+
+// differentType is fine: shadowing with a different type is almost
+// always intentional narrowing.
+func differentType(v any) string {
+	if s, ok := v.(string); ok {
+		v := s + "!"
+		return v
+	}
+	_ = v
+	return ""
+}
+
+func touch() error { return nil }

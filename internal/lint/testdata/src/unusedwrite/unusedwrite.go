@@ -1,0 +1,61 @@
+// Package unusedwrite is an analysistest fixture: each // want line
+// seeds a lost write to a struct copy the unusedwrite analyzer must
+// catch.
+package unusedwrite
+
+type item struct {
+	done bool
+	n    int
+}
+
+// markAll looks like it marks every item, but the range value is a
+// copy: the writes vanish at the end of each iteration.
+func markAll(items []item) {
+	for _, it := range items {
+		it.done = true // want `write to field done of range-value copy "it" is never read`
+	}
+}
+
+// byValueParam writes a field of a by-value parameter and returns:
+// the caller can never observe it.
+func byValueParam(it item) {
+	it.n = 5 // want `write to field n of copy "it" is never read`
+}
+
+// readBack is fine: the copy is read after the write, so the write is
+// observable (local accumulation).
+func readBack(items []item) int {
+	total := 0
+	for _, it := range items {
+		it.n = 2 * it.n
+		total += it.n
+	}
+	return total
+}
+
+// throughPointer is fine: the write lands in the shared element.
+func throughPointer(items []*item) {
+	for _, it := range items {
+		it.done = true
+	}
+}
+
+// addressTaken is fine: an alias may observe the write later.
+func addressTaken(items []item) *item {
+	var last *item
+	for _, it := range items {
+		it.done = true
+		last = &it
+	}
+	return last
+}
+
+// loopCarried is fine: the write to the outer struct is read by the
+// lexically earlier use on the next iteration.
+func loopCarried(rounds int) int {
+	var acc item
+	for i := 0; i < rounds; i++ {
+		acc.n = acc.n + i
+	}
+	return acc.n
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unusedwrite is a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis/passes/unusedwrite (whose SSA-based
+// original needs x/tools; this environment builds without a module
+// proxy). It reports field writes into struct *copies* that can never
+// be observed:
+//
+//   - `for _, v := range xs { v.F = ... }` where v is a by-value
+//     element copy and v is not read after the write, and
+//   - writes to fields of a struct-valued local or parameter that is
+//     never read again before it goes out of scope.
+//
+// Variables whose address is taken anywhere in the function are
+// skipped — a write through an alias can be observed later.
+var Unusedwrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc: "report field writes to struct copies (range-value variables, by-value locals and " +
+		"params) never read afterwards (stdlib port of x/tools unusedwrite)",
+	Run: runUnusedwrite,
+}
+
+func runUnusedwrite(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkUnusedWrites(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkUnusedWrites(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+
+	// addressed: objects whose address is taken (or that are captured
+	// by a closure, which we approximate by any use inside a FuncLit).
+	addressed := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] != nil {
+					addressed[info.Uses[id]] = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] != nil {
+					addressed[info.Uses[id]] = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	// lastRead[obj]: greatest position where obj is read, excluding
+	// the base identifier of a field-write LHS (x in `x.F = ...` is
+	// not a read of x's value that could observe the write).
+	lastRead := map[types.Object]token.Pos{}
+	writeLHSBases := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					writeLHSBases[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writeLHSBases[id] {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && id.Pos() > lastRead[obj] {
+			lastRead[obj] = id.Pos()
+		}
+		return true
+	})
+
+	// copyScopeEnd returns the position past which a write to obj's
+	// fields is dead, or NoPos when obj is not a struct copy we track.
+	copyScopeEnd := func(obj types.Object) token.Pos {
+		v, ok := obj.(*types.Var)
+		if !ok || addressed[obj] {
+			return token.NoPos
+		}
+		if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+			return token.NoPos
+		}
+		scope := v.Parent()
+		if scope == nil || scope == pass.Pkg.Scope() {
+			return token.NoPos
+		}
+		// Range-value copies die at each iteration's end; other locals
+		// and params at their scope's end. Both are scope.End() here,
+		// because a range variable's scope is the loop body.
+		return scope.End()
+	}
+
+	// Loops make position-based liveness unsound: a write inside a loop
+	// body can be observed by a lexically earlier read on the next
+	// iteration — unless the variable is that loop's own range value,
+	// which is a fresh copy per iteration. Collect loop spans so such
+	// writes can be skipped.
+	type loopSpan struct {
+		pos, end token.Pos
+		valueVar types.Object // range value variable, or nil
+	}
+	var loops []loopSpan
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, loopSpan{n.Pos(), n.End(), nil})
+		case *ast.RangeStmt:
+			var vv types.Object
+			if id, ok := n.Value.(*ast.Ident); ok {
+				vv = info.Defs[id]
+			}
+			loops = append(loops, loopSpan{n.Pos(), n.End(), vv})
+		}
+		return true
+	})
+	observableViaLoop := func(obj types.Object, writePos token.Pos) bool {
+		for _, l := range loops {
+			if l.pos <= writePos && writePos <= l.end && l.pos > obj.Pos() && l.valueVar != obj {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			end := copyScopeEnd(obj)
+			if end == token.NoPos {
+				continue
+			}
+			if observableViaLoop(obj, lhs.Pos()) {
+				continue
+			}
+			if last, ok2 := lastRead[obj]; ok2 && last > lhs.Pos() && last <= end {
+				continue // the copy is read after the write; write is observable
+			}
+			kind := "copy"
+			if isRangeValueVar(pass, id, obj) {
+				kind = "range-value copy"
+			}
+			pass.Reportf(lhs.Pos(), "write to field %s of %s %q is never read; the %s is discarded",
+				sel.Sel.Name, kind, id.Name, kind)
+		}
+		return true
+	})
+}
+
+// isRangeValueVar reports whether obj is the value variable of a
+// range statement (the classic lost-write shape).
+func isRangeValueVar(pass *Pass, use *ast.Ident, obj types.Object) bool {
+	for _, f := range pass.Files {
+		if f.Pos() <= use.Pos() && use.Pos() <= f.End() {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || found {
+					return !found
+				}
+				if id, ok := rng.Value.(*ast.Ident); ok && pass.Info.Defs[id] == obj {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}
+	}
+	return false
+}
