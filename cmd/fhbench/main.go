@@ -5,7 +5,12 @@
 //
 //	fhbench [-suite full|ci] [-instances N] [-seed S] [-workers W]
 //	        [-benchtime D] [-match SUBSTR] [-note TEXT] [-out BENCH.json]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//
+// -trace runs the suite's standard engine workload once per engine
+// scheduler with full observability (outside the timed loops — the
+// measurements themselves always run untraced) and writes the JSONL
+// trace; a .metrics file with a Prometheus-style dump lands alongside.
 //
 // Compare (exits 2 when a benchmark regresses beyond the gate or the
 // two reports measured different work):
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"fhs/internal/bench"
+	"fhs/internal/obs"
 )
 
 func main() {
@@ -43,6 +49,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the per-benchmark progress lines")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile after the suite run to this file")
+		tracePath  = flag.String("trace", "", "write a JSONL obs trace of the suite's engine workload to this file")
 		compare    = flag.Bool("compare", false, "compare two reports: fhbench -compare old.json new.json")
 		gate       = flag.Float64("gate", 0.25, "compare: relative slowdown that fails the comparison")
 		noise      = flag.Float64("noise", 0.05, "compare: relative delta treated as measurement noise")
@@ -131,6 +138,38 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *out)
 	}
+
+	if *tracePath != "" {
+		events, snaps, err := bench.TraceRun(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeTo(*tracePath, func(f *os.File) error {
+			return obs.WriteJSONL(f, events)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		metricsPath := *tracePath + ".metrics"
+		if err := writeTo(metricsPath, func(f *os.File) error {
+			return obs.WritePrometheus(f, snaps)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events) and %s\n", *tracePath, len(events), metricsPath)
+	}
+}
+
+// writeTo writes one exporter's output, closing cleanly.
+func writeTo(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func runCompare(oldPath, newPath string, g bench.Gate) {

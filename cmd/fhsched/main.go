@@ -7,6 +7,15 @@
 //
 //	fhsched -job FILE -procs P1,P2,... [-sched NAME] [-preemptive]
 //	        [-seed S] [-trace] [-gantt] [-analyze] [-all]
+//	        [-obs FILE] [-chrome FILE] [-timeline]
+//	fhsched -checktrace FILE
+//
+// -obs streams each scheduler's run into a structured observability
+// trace (one scope per scheduler) and writes it as JSONL; -chrome
+// writes the same trace in Chrome trace_event form; -timeline prints a
+// bucketed per-type utilization timeline per scheduler. -checktrace
+// validates an existing JSONL trace file against the event schema and
+// exits — CI uses it to gate traced fhsim output.
 //
 // Examples:
 //
@@ -18,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -28,8 +38,29 @@ import (
 	"fhs/internal/core"
 	"fhs/internal/dag"
 	"fhs/internal/metrics"
+	"fhs/internal/obs"
 	"fhs/internal/sim"
 )
+
+// timelineBuckets is the resolution of -timeline output.
+const timelineBuckets = 20
+
+// checkTrace validates a JSONL obs trace file: every line must decode
+// canonically, every event must satisfy the schema, and scopes must
+// nest. It prints a one-line summary on success.
+func checkTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok, %d events\n", path, len(events))
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,8 +75,18 @@ func main() {
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		analyzeF   = flag.Bool("analyze", false, "print a schedule quality analysis (starvation, waits, queues)")
 		all        = flag.Bool("all", false, "compare all six paper schedulers")
+		obsPath    = flag.String("obs", "", "write a JSONL observability trace to this file")
+		chromeF    = flag.String("chrome", "", "write the observability trace in Chrome trace_event format to this file")
+		timeline   = flag.Bool("timeline", false, "print a per-type utilization timeline per scheduler")
+		checkPath  = flag.String("checktrace", "", "validate a JSONL obs trace file against the schema and exit")
 	)
 	flag.Parse()
+	if *checkPath != "" {
+		if err := checkTrace(*checkPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *jobPath == "" || *procsSpec == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -76,6 +117,10 @@ func main() {
 	if *all {
 		names = core.Names()
 	}
+	var tracer *obs.Tracer
+	if *obsPath != "" || *chromeF != "" || *timeline {
+		tracer = obs.NewTracer()
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheduler\tcompletion\tratio\tutilization")
 	for _, name := range names {
@@ -87,11 +132,16 @@ func main() {
 			Procs:        procs,
 			Preemptive:   *preemptive,
 			CollectTrace: *trace || *gantt || *analyzeF,
+			Obs:          tracer,
 		}
+		tracer.BeginScope(name)
+		lo := tracer.Len()
 		res, err := sim.Run(g, s, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		hi := tracer.Len()
+		tracer.EndScope(name)
 		utils := make([]string, len(res.Utilization))
 		for i, u := range res.Utilization {
 			utils[i] = fmt.Sprintf("%.2f", u)
@@ -120,10 +170,48 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if *timeline {
+			tw.Flush()
+			tl, err := analyze.TimelineFromObs(tracer.Events()[lo:hi], procs, timelineBuckets)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s ", name)
+			if err := analyze.WriteTimeline(os.Stdout, tl); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
 	}
+
+	if *obsPath != "" {
+		if err := writeTraceFile(*obsPath, tracer, obs.WriteJSONL); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *obsPath, tracer.Len())
+	}
+	if *chromeF != "" {
+		if err := writeTraceFile(*chromeF, tracer, obs.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *chromeF)
+	}
+}
+
+// writeTraceFile renders the tracer's events with one exporter,
+// closing cleanly.
+func writeTraceFile(path string, tr *obs.Tracer, write func(io.Writer, []obs.Event) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f, tr.Events())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parsePools(spec string) ([]int, error) {

@@ -1,0 +1,216 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fhs/internal/obs"
+)
+
+// Timeline is a bucketed per-type view of one traced run: where each
+// pool's offered capacity went over time, how the engine-sampled
+// x-utilizations rα = lα/Pα evolved, and how deep the ready queues
+// ran. It is built from an obs event stream alone — no Result needed —
+// so it works for any traced engine, including fault-injected runs
+// where the offered capacity itself moves.
+type Timeline struct {
+	// Makespan is the time of the last event; the timeline covers
+	// [0, Makespan) in len(Util[0]) buckets of Width time units each
+	// (the last bucket may be shorter).
+	Makespan int64
+	Width    int64
+	// Procs holds the nominal pool sizes the run was configured with.
+	Procs []int
+
+	// Util[α][b] is the fraction of pool α's *offered* processor-time
+	// spent executing tasks during bucket b, where offered capacity
+	// follows the trace's capacity breakpoints (nominal Pα without a
+	// fault timeline).
+	Util [][]float64
+	// XUtil[α][b] is the time-average of the engine's x-utilization
+	// samples rα = lα/Pα(t) over bucket b, piecewise-constant between
+	// samples. This is the quantity MQB balances.
+	XUtil [][]float64
+	// Depth[α][b] is the time-averaged standing ready-queue depth.
+	Depth [][]float64
+}
+
+// Buckets returns the number of time buckets.
+func (tl *Timeline) Buckets() int {
+	if len(tl.Util) == 0 {
+		return 0
+	}
+	return len(tl.Util[0])
+}
+
+// taskKey identifies a running task across single-job (Job = -1) and
+// multi-job streams.
+type taskKey struct{ job, task int64 }
+
+// TimelineFromObs folds an obs event stream into a bucketed timeline.
+// The stream must be a single run (no scope markers — split a combined
+// file by scope first) whose per-type sample and capacity events are in
+// time order, which every engine guarantees. buckets fixes the
+// resolution; the bucket width is ⌈makespan/buckets⌉.
+func TimelineFromObs(events []obs.Event, procs []int, buckets int) (*Timeline, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("analyze: timeline needs a positive bucket count, got %d", buckets)
+	}
+	k := len(procs)
+	if k == 0 {
+		return nil, fmt.Errorf("analyze: timeline needs at least one pool")
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("analyze: empty obs trace")
+	}
+
+	var span int64
+	for i, e := range events {
+		if e.Kind == obs.KindScopeBegin || e.Kind == obs.KindScopeEnd {
+			return nil, fmt.Errorf("analyze: event %d is a scope marker; pass a single scope's events", i)
+		}
+		if e.Type >= int64(k) {
+			return nil, fmt.Errorf("analyze: event %d references pool %d, run has K=%d", i, e.Type, k)
+		}
+		if e.Time > span {
+			span = e.Time
+		}
+	}
+	width := (span + int64(buckets) - 1) / int64(buckets)
+	if width == 0 {
+		width = 1
+	}
+	nb := int((span + width - 1) / width)
+	if nb == 0 {
+		nb = 1
+	}
+
+	tl := &Timeline{Makespan: span, Width: width, Procs: procs}
+	busy := grid(k, nb)
+	offered := grid(k, nb)
+	xutil := grid(k, nb)
+	depth := grid(k, nb)
+
+	// addIntegral spreads value·dt over the buckets the interval
+	// [from, to) crosses.
+	addIntegral := func(acc []float64, from, to int64, value float64) {
+		for t := from; t < to; {
+			b := int(t / width)
+			end := (int64(b) + 1) * width
+			if end > to {
+				end = to
+			}
+			acc[b] += value * float64(end-t)
+			t = end
+		}
+	}
+
+	runStart := map[taskKey]int64{}
+	// Per-type piecewise state: live capacity, last x-utilization and
+	// queue-depth samples, and the instants they took effect.
+	capNow := make([]int64, k)
+	capT := make([]int64, k)
+	rNow := make([]float64, k)
+	rT := make([]int64, k)
+	qNow := make([]float64, k)
+	qT := make([]int64, k)
+	for a := 0; a < k; a++ {
+		capNow[a] = int64(procs[a])
+	}
+
+	for i, e := range events {
+		switch e.Kind {
+		case obs.KindStart:
+			key := taskKey{e.Job, e.Task}
+			if _, ok := runStart[key]; ok {
+				return nil, fmt.Errorf("analyze: event %d starts task %d which is already running", i, e.Task)
+			}
+			runStart[key] = e.Time
+		case obs.KindPreempt, obs.KindFinish, obs.KindKill, obs.KindFail:
+			key := taskKey{e.Job, e.Task}
+			s, ok := runStart[key]
+			if !ok {
+				return nil, fmt.Errorf("analyze: event %d (%s) closes task %d which is not running", i, e.Kind, e.Task)
+			}
+			delete(runStart, key)
+			addIntegral(busy[e.Type], s, e.Time, 1)
+		case obs.KindCapacity:
+			a := e.Type
+			addIntegral(offered[a], capT[a], e.Time, float64(capNow[a]))
+			capNow[a], capT[a] = e.Arg, e.Time
+		case obs.KindXUtil:
+			a := e.Type
+			addIntegral(xutil[a], rT[a], e.Time, rNow[a])
+			rNow[a], rT[a] = e.Val, e.Time
+		case obs.KindQueueDepth:
+			a := e.Type
+			addIntegral(depth[a], qT[a], e.Time, qNow[a])
+			qNow[a], qT[a] = float64(e.Arg), e.Time
+		}
+	}
+	if len(runStart) > 0 {
+		return nil, fmt.Errorf("analyze: trace ends with %d task(s) still running", len(runStart))
+	}
+	for a := 0; a < k; a++ {
+		addIntegral(offered[a], capT[a], span, float64(capNow[a]))
+		addIntegral(xutil[a], rT[a], span, rNow[a])
+		addIntegral(depth[a], qT[a], span, qNow[a])
+	}
+
+	tl.Util = grid(k, nb)
+	tl.XUtil = grid(k, nb)
+	tl.Depth = grid(k, nb)
+	for a := 0; a < k; a++ {
+		for b := 0; b < nb; b++ {
+			dt := width
+			if rem := span - int64(b)*width; rem < dt {
+				dt = rem
+			}
+			if dt <= 0 {
+				continue
+			}
+			if offered[a][b] > 0 {
+				tl.Util[a][b] = busy[a][b] / offered[a][b]
+			}
+			tl.XUtil[a][b] = xutil[a][b] / float64(dt)
+			tl.Depth[a][b] = depth[a][b] / float64(dt)
+		}
+	}
+	return tl, nil
+}
+
+func grid(k, n int) [][]float64 {
+	g := make([][]float64, k)
+	flat := make([]float64, k*n)
+	for a := range g {
+		g[a], flat = flat[:n:n], flat[n:]
+	}
+	return g
+}
+
+// WriteTimeline renders the timeline as an aligned text table: one row
+// per bucket, three columns per pool (capacity utilization, mean
+// x-utilization rα, mean queue depth). Pools iterate in type order —
+// the grids are type-indexed slices, never maps — so output diffs are
+// stable.
+func WriteTimeline(w io.Writer, tl *Timeline) error {
+	if _, err := fmt.Fprintf(w, "utilization timeline: makespan %d, %d buckets of width %d\n",
+		tl.Makespan, tl.Buckets(), tl.Width); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "t")
+	for a := range tl.Util {
+		fmt.Fprintf(tw, "\tutil%d\tr%d\tq%d", a, a, a)
+	}
+	fmt.Fprintln(tw)
+	for b := 0; b < tl.Buckets(); b++ {
+		fmt.Fprintf(tw, "%d", int64(b)*tl.Width)
+		for a := range tl.Util {
+			fmt.Fprintf(tw, "\t%.2f\t%.2f\t%.1f", tl.Util[a][b], tl.XUtil[a][b], tl.Depth[a][b])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

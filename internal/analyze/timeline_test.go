@@ -1,0 +1,148 @@
+package analyze
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+	"fhs/internal/sim"
+)
+
+// TestTimelineHandBuilt folds a hand-written stream with known
+// integrals: one pool of 2 processors, two tasks overlapping on
+// [0,4) and [0,6), an x-utilization step and a queue-depth step, over
+// 3 buckets of width 2.
+func TestTimelineHandBuilt(t *testing.T) {
+	events := []obs.Event{
+		obs.TaskEv(obs.KindStart, 0, 0, 0),
+		obs.TaskEv(obs.KindStart, 0, 1, 0),
+		obs.TypeEv(obs.KindXUtil, 0, 0, 2, 1.5),
+		obs.TypeEv(obs.KindQueueDepth, 0, 0, 3, 0),
+		obs.TaskEv(obs.KindFinish, 4, 0, 0),
+		obs.TypeEv(obs.KindXUtil, 4, 0, 2, 0.5),
+		obs.TypeEv(obs.KindQueueDepth, 4, 0, 0, 0),
+		obs.TaskEv(obs.KindFinish, 6, 1, 0),
+	}
+	if err := obs.ValidateTrace(events); err != nil {
+		t.Fatalf("test stream invalid: %v", err)
+	}
+	tl, err := TimelineFromObs(events, []int{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 6 || tl.Width != 2 || tl.Buckets() != 3 {
+		t.Fatalf("makespan/width/buckets = %d/%d/%d, want 6/2/3", tl.Makespan, tl.Width, tl.Buckets())
+	}
+	// Busy time per bucket: [4,4,2] over offered 2*2=4 each.
+	wantUtil := []float64{1, 1, 0.5}
+	// rα is 0 on [0,0), 1.5 on [0,4), 0.5 on [4,6).
+	wantX := []float64{1.5, 1.5, 0.5}
+	// Queue depth 3 on [0,4), 0 after.
+	wantQ := []float64{3, 3, 0}
+	for b := 0; b < 3; b++ {
+		if math.Abs(tl.Util[0][b]-wantUtil[b]) > 1e-12 {
+			t.Errorf("util[%d] = %g, want %g", b, tl.Util[0][b], wantUtil[b])
+		}
+		if math.Abs(tl.XUtil[0][b]-wantX[b]) > 1e-12 {
+			t.Errorf("xutil[%d] = %g, want %g", b, tl.XUtil[0][b], wantX[b])
+		}
+		if math.Abs(tl.Depth[0][b]-wantQ[b]) > 1e-12 {
+			t.Errorf("depth[%d] = %g, want %g", b, tl.Depth[0][b], wantQ[b])
+		}
+	}
+}
+
+// TestTimelineCapacityBreakpoints checks that utilization is computed
+// against *offered* capacity: a pool that drops from 2 processors to 1
+// halfway through a fully-busy run stays at utilization 1.
+func TestTimelineCapacityBreakpoints(t *testing.T) {
+	events := []obs.Event{
+		obs.TaskEv(obs.KindStart, 0, 0, 0),
+		obs.TaskEv(obs.KindStart, 0, 1, 0),
+		obs.TaskEv(obs.KindFinish, 4, 0, 0),
+		obs.TypeEv(obs.KindCapacity, 4, 0, 1, 0),
+		obs.TaskEv(obs.KindFinish, 8, 1, 0),
+	}
+	tl, err := TimelineFromObs(events, []int{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if math.Abs(tl.Util[0][b]-1) > 1e-12 {
+			t.Errorf("util[%d] = %g, want 1 against live capacity", b, tl.Util[0][b])
+		}
+	}
+}
+
+// TestTimelineRejectsBadStreams exercises the error paths: scope
+// markers, foreign pools, double starts, orphan closes, still-running
+// tasks and bad bucket counts.
+func TestTimelineRejectsBadStreams(t *testing.T) {
+	ok := []obs.Event{
+		obs.TaskEv(obs.KindStart, 0, 0, 0),
+		obs.TaskEv(obs.KindFinish, 2, 0, 0),
+	}
+	cases := []struct {
+		name    string
+		events  []obs.Event
+		procs   []int
+		buckets int
+		want    string
+	}{
+		{"scope marker", []obs.Event{obs.ScopeEv(obs.KindScopeBegin, "x"), ok[0], ok[1]}, []int{1}, 4, "scope marker"},
+		{"foreign pool", ok, nil, 4, "at least one pool"},
+		{"pool out of range", []obs.Event{obs.TaskEv(obs.KindStart, 0, 0, 3), obs.TaskEv(obs.KindFinish, 2, 0, 3)}, []int{1}, 4, "pool 3"},
+		{"double start", []obs.Event{ok[0], ok[0], ok[1]}, []int{1}, 4, "already running"},
+		{"orphan close", []obs.Event{ok[1]}, []int{1}, 4, "not running"},
+		{"still running", []obs.Event{ok[0]}, []int{1}, 4, "still running"},
+		{"bad buckets", ok, []int{1}, 0, "bucket count"},
+		{"empty", nil, []int{1}, 4, "empty"},
+	}
+	for _, tc := range cases {
+		_, err := TimelineFromObs(tc.events, tc.procs, tc.buckets)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTimelineFromRealRun renders a traced KGreedy run end to end and
+// sanity-checks the report: header present, one row per bucket, and no
+// utilization above 1.
+func TestTimelineFromRealRun(t *testing.T) {
+	g := dag.Figure1()
+	procs := []int{2, 2, 2}
+	tr := obs.NewTracer()
+	s, err := core.New("KGreedy", core.Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(g, s, sim.Config{Procs: procs, Obs: tr}); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := TimelineFromObs(tr.Events(), procs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range tl.Util {
+		for b, u := range tl.Util[a] {
+			if u < 0 || u > 1+1e-12 {
+				t.Errorf("util[%d][%d] = %g out of [0,1]", a, b, u)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, tl); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "utilization timeline") || !strings.Contains(out, "util2") {
+		t.Errorf("report missing headers:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != tl.Buckets()+2 {
+		t.Errorf("report has %d lines, want %d", got, tl.Buckets()+2)
+	}
+}

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/obs"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden observability traces under testdata/")
+
+// goldenCases pins one EP and one Tree instance for each of the two
+// paper schedulers. Any change to scheduler decisions, engine event
+// ordering or the JSONL wire format shows up as a diff against the
+// committed trace; run `go test ./internal/core -run TestGoldenTraces
+// -update` to re-bless after an intentional change.
+func goldenCases() []struct {
+	sched string
+	class workload.Class
+	file  string
+} {
+	return []struct {
+		sched string
+		class workload.Class
+		file  string
+	}{
+		{"KGreedy", workload.EP, "kgreedy_ep.jsonl"},
+		{"KGreedy", workload.Tree, "kgreedy_tree.jsonl"},
+		{"MQB", workload.EP, "mqb_ep.jsonl"},
+		{"MQB", workload.Tree, "mqb_tree.jsonl"},
+	}
+}
+
+// goldenConfig returns a deliberately small instance distribution for
+// the given class — the experiment-scale defaults produce megabyte
+// traces, which are too big to commit and too big to eyeball in a
+// diff.
+func goldenConfig(class workload.Class) workload.Config {
+	cfg := workload.Config{
+		Class:   class,
+		Typing:  workload.Layered,
+		K:       3,
+		WorkMin: 1,
+		WorkMax: 2,
+	}
+	switch class {
+	case workload.EP:
+		cfg.EP = workload.EPParams{
+			BranchesMin: 6, BranchesMax: 10,
+			LengthMin: 6, LengthMax: 9,
+			SegmentLenMin: 3, SegmentLenMax: 3,
+		}
+	case workload.Tree:
+		cfg.Tree = workload.TreeParams{
+			Fanout: 4, FanoutProb: 0.2,
+			MaxDepth: 16, MaxNodes: 120, MaxWidth: 12,
+			Spine: true,
+		}
+	}
+	return cfg
+}
+
+// goldenTrace produces the canonical JSONL trace for one case: a fixed
+// seeded instance run under full tracing, wrapped in a scheduler scope.
+func goldenTrace(t *testing.T, sched string, class workload.Class) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	g, err := workload.Generate(goldenConfig(class), rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	procs := []int{3, 2, 4}
+	s, err := core.New(sched, core.Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	tr.BeginScope(sched)
+	if _, err := sim.Run(g, s, sim.Config{Procs: procs, Obs: tr}); err != nil {
+		t.Fatalf("%s: %v", sched, err)
+	}
+	tr.EndScope(sched)
+	if err := obs.ValidateTrace(tr.Events()); err != nil {
+		t.Fatalf("%s: invalid trace: %v", sched, err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffLines reports the first divergence between two JSONL documents in
+// a readable, line-oriented form.
+func diffLines(got, want []byte) string {
+	g := bytes.Split(bytes.TrimRight(got, "\n"), []byte("\n"))
+	w := bytes.Split(bytes.TrimRight(want, "\n"), []byte("\n"))
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d lines, want %d", len(g), len(w))
+}
+
+// TestGoldenTraces locks the full observability stream of KGreedy and
+// MQB on pinned EP and Tree instances to committed JSONL files, and
+// checks the committed bytes still decode canonically.
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenCases() {
+		path := filepath.Join("testdata", tc.file)
+		got := goldenTrace(t, tc.sched, tc.class)
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: trace drifted from golden file; %s\n(re-bless with -update if intentional)",
+				path, diffLines(got, want))
+			continue
+		}
+		// The committed bytes must themselves round-trip: golden files
+		// double as decoder regression fixtures.
+		events, err := obs.ReadJSONL(bytes.NewReader(want))
+		if err != nil {
+			t.Errorf("%s: committed golden does not decode: %v", path, err)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: golden file is not in canonical encoding", path)
+		}
+	}
+}

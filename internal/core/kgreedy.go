@@ -2,6 +2,7 @@ package core
 
 import (
 	"fhs/internal/dag"
+	"fhs/internal/obs"
 	"fhs/internal/sim"
 )
 
@@ -14,7 +15,11 @@ import (
 //
 // KGreedy is the only online policy in this package: it uses no job
 // information at all, not even task works.
-type KGreedy struct{}
+type KGreedy struct {
+	// tr streams contested pick decisions on traced runs
+	// (sim.Config.Obs); nil otherwise.
+	tr *obs.Tracer
+}
 
 // NewKGreedy returns the online greedy scheduler.
 func NewKGreedy() *KGreedy { return &KGreedy{} }
@@ -23,14 +28,23 @@ func NewKGreedy() *KGreedy { return &KGreedy{} }
 func (*KGreedy) Name() string { return "KGreedy" }
 
 // Prepare implements sim.Scheduler. KGreedy is online, so it ignores
-// the graph entirely.
-func (*KGreedy) Prepare(*dag.Graph, sim.Config) error { return nil }
+// the graph entirely; it only latches the run's tracer.
+func (k *KGreedy) Prepare(_ *dag.Graph, cfg sim.Config) error {
+	k.tr = cfg.Obs
+	return nil
+}
 
 // Pick implements sim.Scheduler: first-in, first-out per type.
-func (*KGreedy) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
+func (k *KGreedy) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 	q := st.Ready(alpha)
 	if len(q) == 0 {
 		return dag.NoTask, false
+	}
+	if len(q) > 1 && k.tr.Enabled() {
+		// Contested pick: FIFO always takes the head, so the recorded
+		// score is the head's readiness rank (0). The value of the
+		// event is the candidate count — queue pressure at pick time.
+		k.tr.Emit(obs.DecisionEv(st.Now(), int64(q[0]), int64(alpha), int64(len(q)), 0))
 	}
 	return q[0], true
 }

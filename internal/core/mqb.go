@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"fhs/internal/dag"
+	"fhs/internal/obs"
 	"fhs/internal/sim"
 )
 
@@ -110,6 +111,11 @@ type MQB struct {
 	opts MQBOptions
 	rng  *rand.Rand
 
+	// tr streams contested pick decisions when the run is traced
+	// (sim.Config.Obs); nil outside traced runs, costing one branch
+	// per Pick.
+	tr *obs.Tracer
+
 	// desc holds per-task, per-type descendant estimates. With precise
 	// information it aliases the graph's shared memoized slices (never
 	// written); the randomized information models perturb a private
@@ -154,7 +160,8 @@ func (m *MQB) Name() string {
 // once per (graph, lookahead), not once per Prepare — then perturb a
 // private copy per the information model. A randomized MQB reused
 // across jobs draws fresh noise every Prepare.
-func (m *MQB) Prepare(g *dag.Graph, _ sim.Config) error {
+func (m *MQB) Prepare(g *dag.Graph, cfg sim.Config) error {
+	m.tr = cfg.Obs
 	var src [][]float64
 	if m.opts.Lookahead == LookaheadOneStep {
 		src = g.SharedOneStepTypedDescendantValues()
@@ -289,7 +296,31 @@ func (m *MQB) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
 			}
 		}
 	}
+	if m.tr.Enabled() {
+		// A contested pick: record which task won and the smallest
+		// x-utilization of its winning snapshot (the head of the
+		// lexicographic comparison) — the quantity whose flip explains
+		// why MQB changed its mind between steps. For the ablated
+		// rules the recorded score is their scalar objective.
+		score := bestScore
+		if m.opts.Balance == BalanceLex {
+			score = m.best[0]
+		}
+		m.tr.Emit(obs.DecisionEv(st.Now(), int64(best), int64(alpha), int64(len(q)), finiteScore(score)))
+	}
 	return best, true
+}
+
+// finiteScore clamps a balance score into the finite range the event
+// schema requires (a fully crashed pool scores +Inf).
+func finiteScore(v float64) float64 {
+	if math.IsInf(v, 1) || math.IsNaN(v) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(v, -1) {
+		return -math.MaxFloat64
+	}
+	return v
 }
 
 // sortBeats reports whether cand's balance vector, once sorted

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"fhs/internal/obs"
+)
+
+// TestRunMetricsWorkerInvariant runs the same experiment with 1, 2 and
+// 8 workers, each run feeding a fresh registry, and requires the
+// registry fingerprints to match exactly: the exp_* and sim_* metrics
+// are pure totals over a fixed instance set, so worker scheduling must
+// not show through.
+func TestRunMetricsWorkerInvariant(t *testing.T) {
+	var fps []string
+	var tables []Table
+	for _, workers := range []int{1, 2, 8} {
+		spec := tinySpec("obs-invariance", workers)
+		spec.Instances = 30
+		reg := obs.NewRegistry()
+		spec.Metrics = reg
+		table, err := Run(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fps = append(fps, reg.Fingerprint())
+		tables = append(tables, table)
+	}
+	for i := 1; i < len(fps); i++ {
+		if fps[i] != fps[0] {
+			t.Errorf("fingerprint diverged between worker counts:\n  %s\n  %s", fps[0], fps[i])
+		}
+		if !reflect.DeepEqual(tables[i].Rows, tables[0].Rows) {
+			t.Errorf("table rows diverged between worker counts")
+		}
+	}
+}
+
+// TestRunMetricsTotals pins the exp-level counters: one instance drawn
+// per Instances, one sim per (instance, scheduler), completion-time
+// histogram fed once per sim.
+func TestRunMetricsTotals(t *testing.T) {
+	spec := tinySpec("obs-totals", 2)
+	spec.Instances = 10
+	reg := obs.NewRegistry()
+	spec.Metrics = reg
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	sims := int64(spec.Instances * len(spec.Schedulers))
+	if got := reg.Counter("exp_instances_total").Value(); got != int64(spec.Instances) {
+		t.Errorf("exp_instances_total = %d, want %d", got, spec.Instances)
+	}
+	if got := reg.Counter("exp_sims_total").Value(); got != sims {
+		t.Errorf("exp_sims_total = %d, want %d", got, sims)
+	}
+	if got := reg.Counter("exp_instances_dropped_total").Value(); got != 0 {
+		t.Errorf("exp_instances_dropped_total = %d, want 0", got)
+	}
+	snap := reg.Snapshot()
+	var found bool
+	for _, m := range snap {
+		if m.Name == "exp_completion_time" {
+			found = true
+			if m.Count != sims {
+				t.Errorf("exp_completion_time count = %d, want %d", m.Count, sims)
+			}
+		}
+	}
+	if !found {
+		t.Error("exp_completion_time not in snapshot")
+	}
+}
+
+// TestTraceInstanceMatchesRun re-derives instance 0 under tracing and
+// checks it reproduces exactly the simulation Run performed: same
+// schedulers, same completion times as the measurements that fed the
+// table, and a validating per-scheduler scoped trace.
+func TestTraceInstanceMatchesRun(t *testing.T) {
+	spec := tinySpec("obs-traced", 1)
+	spec.Instances = 4
+	tr := obs.NewTracer()
+	_, procs, runs, err := TraceInstance(spec, 0, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != spec.Workload.K {
+		t.Fatalf("procs = %v, want K=%d entries", procs, spec.Workload.K)
+	}
+	if len(runs) != len(spec.Schedulers) {
+		t.Fatalf("runs = %d, want %d", len(runs), len(spec.Schedulers))
+	}
+	if err := obs.ValidateTrace(tr.Events()); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	for i, run := range runs {
+		if run.Scheduler != spec.Schedulers[i] {
+			t.Errorf("run %d scheduler = %s, want %s", i, run.Scheduler, spec.Schedulers[i])
+		}
+		if len(run.Events) == 0 {
+			t.Errorf("run %d has no events", i)
+		}
+		if run.Result.CompletionTime <= 0 {
+			t.Errorf("run %d completion = %d", i, run.Result.CompletionTime)
+		}
+	}
+	// Tracing the instance twice is deterministic.
+	tr2 := obs.NewTracer()
+	_, _, runs2, err := TraceInstance(spec, 0, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events(), tr2.Events()) {
+		t.Error("TraceInstance is not deterministic")
+	}
+	for i := range runs {
+		if runs[i].Result.CompletionTime != runs2[i].Result.CompletionTime {
+			t.Errorf("run %d completion differs across traces", i)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fhs/internal/dag"
 	"fhs/internal/fault"
 	"fhs/internal/metrics"
+	"fhs/internal/obs"
 	"fhs/internal/sim"
 	_ "fhs/internal/verify" // registers the Paranoid-mode auditor
 	"fhs/internal/workload"
@@ -86,6 +87,14 @@ type Spec struct {
 
 	// NoMaxTime disables the derived MaxTime default.
 	NoMaxTime bool
+
+	// Metrics, when set, aggregates harness counters (exp_* names) and
+	// every simulation's engine metrics (sim_*) into the registry. The
+	// registry is shared by all workers; only order-independent
+	// instruments are touched, so the aggregated totals are identical
+	// for any Workers setting — asserted by the determinism test in
+	// obs_test.go. Nil disables.
+	Metrics *obs.Registry
 }
 
 // Validate reports malformed specs before any work is spent.
@@ -196,8 +205,8 @@ func instSeed(base int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// obs is one scheduler's measurements on one instance.
-type obs struct {
+// measurement is one scheduler's observations on one instance.
+type measurement struct {
 	ratio  float64
 	wasted float64 // wasted-work fraction of busy time
 	kills  float64
@@ -225,7 +234,7 @@ func Run(spec Spec) (Table, error) {
 	}
 
 	nSched := len(spec.Schedulers)
-	observations := make([]obs, spec.Instances*nSched)
+	observations := make([]measurement, spec.Instances*nSched)
 	valid := make([]bool, spec.Instances)
 
 	var (
@@ -260,6 +269,7 @@ func Run(spec Spec) (Table, error) {
 	// Worker interleaving must not leak into the output: errors sort by
 	// instance (at most one per instance — the first failure aborts it).
 	sort.Slice(failed, func(i, j int) bool { return failed[i].Instance < failed[j].Instance })
+	newExpMetrics(spec.Metrics).dropped.Add(int64(len(failed)))
 	table := Table{
 		Name:    spec.Name,
 		Rows:    make([]Row, nSched),
@@ -352,7 +362,7 @@ func deriveMaxTime(g *dag.Graph, procs []int, plan *fault.Plan) int64 {
 // out[s] with each scheduler's observations. Any failure — including a
 // panicking scheduler — is returned as a structured InstanceError and
 // the instance is dropped whole, keeping rows paired.
-func runInstance(spec *Spec, i int, out []obs) (ierr *InstanceError) {
+func runInstance(spec *Spec, i int, out []measurement) (ierr *InstanceError) {
 	seed := instSeed(spec.Seed, i)
 	current := "" // scheduler on deck, for panic attribution
 	defer func() {
@@ -385,7 +395,9 @@ func runInstance(spec *Spec, i int, out []obs) (ierr *InstanceError) {
 	if maxTime == 0 && !spec.NoMaxTime {
 		maxTime = deriveMaxTime(g, procs, plan)
 	}
-	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive, Paranoid: spec.Paranoid, Faults: plan, MaxTime: maxTime}
+	cfg := sim.Config{Procs: procs, Preemptive: spec.Preemptive, Paranoid: spec.Paranoid, Faults: plan, MaxTime: maxTime, Metrics: spec.Metrics}
+	em := newExpMetrics(spec.Metrics)
+	em.instances.Inc()
 	for s, name := range spec.Schedulers {
 		current = name
 		// Schedulers are built fresh per instance with a seed derived
@@ -400,7 +412,9 @@ func runInstance(spec *Spec, i int, out []obs) (ierr *InstanceError) {
 		if err != nil {
 			return fail(err)
 		}
-		out[s] = obs{
+		em.sims.Inc()
+		em.completion.Observe(res.CompletionTime)
+		out[s] = measurement{
 			ratio:  metrics.Ratio(res.CompletionTime, lb),
 			wasted: metrics.WastedFraction(res.WastedWork, res.BusyTime),
 			kills:  float64(res.Kills),

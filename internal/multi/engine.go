@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fhs/internal/dag"
+	"fhs/internal/obs"
 )
 
 // Policy decides which ready task a freed α-processor runs, across all
@@ -88,8 +89,51 @@ func (h *runHeap) Pop() interface{} {
 	return x
 }
 
+// Obs configures observability for one multi-job run. The zero value
+// disables both channels at the cost of one pointer test per would-be
+// event.
+type Obs struct {
+	// Tracer receives the run's structured event stream: job releases,
+	// task lifecycle (start/finish, tagged with job and task ids), and
+	// per-type ready-queue depth and x-utilization rα = lα/Pα sampled
+	// at every scheduling step.
+	Tracer *obs.Tracer
+	// Metrics aggregates engine counters and the flow-time histogram
+	// (multi_* names; see DESIGN.md "Observability"). Only order-
+	// independent instruments are used, so a registry shared by
+	// concurrent runs totals identically for any worker count.
+	Metrics *obs.Registry
+}
+
+// multiMetrics holds pre-resolved handles, looked up once per run.
+type multiMetrics struct {
+	released *obs.Counter   // multi_jobs_released_total
+	jobs     *obs.Counter   // multi_jobs_completed_total
+	tasks    *obs.Counter   // multi_tasks_completed_total
+	busy     *obs.Counter   // multi_busy_time_total
+	flow     *obs.Histogram // multi_flow_time: per-job completion − release
+}
+
+func newMultiMetrics(reg *obs.Registry) multiMetrics {
+	if reg == nil {
+		return multiMetrics{}
+	}
+	return multiMetrics{
+		released: reg.Counter("multi_jobs_released_total"),
+		jobs:     reg.Counter("multi_jobs_completed_total"),
+		tasks:    reg.Counter("multi_tasks_completed_total"),
+		busy:     reg.Counter("multi_busy_time_total"),
+		flow:     reg.Histogram("multi_flow_time"),
+	}
+}
+
 // Run simulates the stream on the machine under the policy.
 func Run(s *Stream, p Policy, procs []int) (Result, error) {
+	return RunObserved(s, p, procs, Obs{})
+}
+
+// RunObserved is Run with an observability sink attached.
+func RunObserved(s *Stream, p Policy, procs []int, ob Obs) (Result, error) {
 	if len(procs) != s.K() {
 		return Result{}, fmt.Errorf("multi: %d pools for a stream with K=%d", len(procs), s.K())
 	}
@@ -136,10 +180,17 @@ func Run(s *Stream, p Policy, procs []int) (Result, error) {
 	nextRelease := 0
 	completedTasks := 0
 
+	tr := ob.Tracer
+	mets := newMultiMetrics(ob.Metrics)
+
 	release := func(now int64) {
 		for nextRelease < s.NumJobs() && s.Job(nextRelease).Release <= now {
 			j := nextRelease
 			st.released[j] = true
+			mets.released.Inc()
+			if tr.Enabled() {
+				tr.Emit(obs.ReleaseEv(now, int64(j)))
+			}
 			for _, r := range s.Job(j).Graph.Roots() {
 				st.enqueue(TaskRef{Job: j, Task: r})
 			}
@@ -162,7 +213,16 @@ func Run(s *Stream, p Policy, procs []int) (Result, error) {
 					return res, fmt.Errorf("multi: policy %s picked job %d task %d which is not ready on pool %d", p.Name(), ref.Job, ref.Task, a)
 				}
 				idle[a]--
+				if tr.Enabled() {
+					tr.Emit(obs.JobTaskEv(obs.KindStart, st.now, int64(ref.Job), int64(ref.Task), int64(alpha)))
+				}
 				heap.Push(&run, running{finish: st.now + g.Task(ref.Task).Work, ref: ref, alpha: alpha})
+			}
+		}
+		if tr.Enabled() {
+			for a := 0; a < s.K(); a++ {
+				tr.Emit(obs.TypeEv(obs.KindQueueDepth, st.now, int64(a), int64(len(st.queues[a])), 0))
+				tr.Emit(obs.TypeEv(obs.KindXUtil, st.now, int64(a), int64(procs[a]), float64(st.qwork[a])/float64(procs[a])))
 			}
 		}
 		// Advance: to the next completion, or the next release if the
@@ -193,8 +253,15 @@ func Run(s *Stream, p Policy, procs []int) (Result, error) {
 			st.remainingTasks[rt.ref.Job]--
 			completedTasks++
 			idle[rt.alpha]++
+			mets.tasks.Inc()
+			mets.busy.Add(w)
+			if tr.Enabled() {
+				tr.Emit(obs.JobTaskEv(obs.KindFinish, t, int64(rt.ref.Job), int64(rt.ref.Task), int64(rt.alpha)))
+			}
 			if st.remainingTasks[rt.ref.Job] == 0 {
 				res.Completion[rt.ref.Job] = t
+				mets.jobs.Inc()
+				mets.flow.Observe(t - s.Job(rt.ref.Job).Release)
 			}
 			for _, c := range g.Children(rt.ref.Task) {
 				st.pending[rt.ref.Job][c]--

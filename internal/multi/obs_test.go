@@ -1,0 +1,158 @@
+package multi
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fhs/internal/obs"
+	"fhs/internal/workload"
+)
+
+// obsStream draws a small seeded EP stream for the observability
+// tests.
+func obsStream(t *testing.T, seed int64) *Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.DefaultEP(2, workload.Layered)
+	cfg.EP.BranchesMin, cfg.EP.BranchesMax = 4, 8
+	cfg.EP.LengthMin, cfg.EP.LengthMax = 4, 8
+	s, err := GenerateStream(StreamConfig{Jobs: 3, Workload: cfg, MeanInterarrival: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunObservedEmitsValidTrace checks the stream engine's
+// instrumentation: the trace validates, releases and completions are
+// counted per job, and the busy-time counter equals the stream's total
+// work (every task runs exactly once on a reliable machine).
+func TestRunObservedEmitsValidTrace(t *testing.T) {
+	s := obsStream(t, 11)
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	procs := []int{2, 3}
+	res, err := RunObserved(s, NewFCFS(), procs, Obs{Tracer: tr, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(tr.Events()); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	var releases, starts, finishes int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindRelease:
+			releases++
+		case obs.KindStart:
+			starts++
+			if e.Job < 0 || e.Job >= int64(s.NumJobs()) {
+				t.Fatalf("start event with bad job: %+v", e)
+			}
+		case obs.KindFinish:
+			finishes++
+		}
+	}
+	if releases != s.NumJobs() {
+		t.Errorf("release events = %d, want %d", releases, s.NumJobs())
+	}
+	if starts != s.TotalTasks() || finishes != s.TotalTasks() {
+		t.Errorf("starts/finishes = %d/%d, want %d", starts, finishes, s.TotalTasks())
+	}
+	var work int64
+	for i := 0; i < s.NumJobs(); i++ {
+		work += s.Job(i).Graph.TotalWork()
+	}
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"multi_jobs_released_total", int64(s.NumJobs())},
+		{"multi_jobs_completed_total", int64(s.NumJobs())},
+		{"multi_tasks_completed_total", int64(s.TotalTasks())},
+		{"multi_busy_time_total", work},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	var lastDone int64
+	for _, c := range res.Completion {
+		if c > lastDone {
+			lastDone = c
+		}
+	}
+	if lastDone <= 0 {
+		t.Fatal("stream did not complete")
+	}
+}
+
+// TestObservedRunsWorkerInvariant processes the same fixed batch of
+// streams under worker pools of 1, 2 and 8 goroutines, all feeding one
+// shared registry, and requires bit-identical per-stream traces,
+// results and registry fingerprints regardless of worker count. Run
+// under -race this also exercises the atomics behind the shared
+// counters.
+func TestObservedRunsWorkerInvariant(t *testing.T) {
+	const items = 8
+	procs := []int{2, 3}
+	streams := make([]*Stream, items)
+	for i := range streams {
+		streams[i] = obsStream(t, int64(100+i))
+	}
+
+	type outcome struct {
+		fp      string
+		traces  [][]obs.Event
+		results []Result
+	}
+	runAll := func(workers int) outcome {
+		reg := obs.NewRegistry()
+		traces := make([][]obs.Event, items)
+		results := make([]Result, items)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					tr := obs.NewTracer()
+					res, err := RunObserved(streams[i], NewBalancedMQB(), procs, Obs{Tracer: tr, Metrics: reg})
+					if err != nil {
+						t.Errorf("stream %d: %v", i, err)
+						return
+					}
+					traces[i] = tr.Events()
+					results[i] = res
+				}
+			}()
+		}
+		for i := 0; i < items; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		return outcome{fp: reg.Fingerprint(), traces: traces, results: results}
+	}
+
+	base := runAll(1)
+	for _, workers := range []int{2, 8} {
+		got := runAll(workers)
+		if got.fp != base.fp {
+			t.Errorf("registry fingerprint with %d workers diverged:\n  1: %s\n  %d: %s",
+				workers, base.fp, workers, got.fp)
+		}
+		for i := 0; i < items; i++ {
+			if !reflect.DeepEqual(got.results[i], base.results[i]) {
+				t.Errorf("stream %d result differs with %d workers", i, workers)
+			}
+			if !reflect.DeepEqual(got.traces[i], base.traces[i]) {
+				t.Errorf("stream %d trace differs with %d workers", i, workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). Timestamps are nominally microseconds;
+// we map one simulation time unit to one microsecond.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a trace in the Chrome trace_event JSON
+// format: task executions become complete ("X") slices on one row per
+// resource type, queue depth / x-utilization / capacity samples become
+// counter ("C") tracks, and decisions, kills and failures become
+// instant ("i") markers. Scoped traces place each scope in its own
+// process (pid), named by the scope label.
+//
+// The output is a deterministic function of the event slice: rows are
+// emitted in trace order with no map iteration.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if err := ValidateTrace(events); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	var out []chromeEvent
+
+	// Scope handling: pid 1 is the unscoped (or only) trace; each
+	// scope-begin opens the next pid.
+	pid := int64(1)
+	nextPid := int64(1)
+	var pidStack []int64
+	var labels []struct {
+		pid   int64
+		label string
+	}
+
+	// Open run per (job, task): start time, so lifecycle closes emit a
+	// complete slice. Keyed per pid so scopes never pair across runs.
+	type runKey struct {
+		pid, job, task int64
+	}
+	open := map[runKey]int64{}
+
+	taskName := func(e Event) string {
+		if e.Job >= 0 {
+			return fmt.Sprintf("job %d task %d", e.Job, e.Task)
+		}
+		return fmt.Sprintf("task %d", e.Task)
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindScopeBegin:
+			pidStack = append(pidStack, pid)
+			nextPid++
+			pid = nextPid
+			labels = append(labels, struct {
+				pid   int64
+				label string
+			}{pid, e.Label})
+		case KindScopeEnd:
+			pid = pidStack[len(pidStack)-1]
+			pidStack = pidStack[:len(pidStack)-1]
+		case KindStart:
+			open[runKey{pid, e.Job, e.Task}] = e.Time
+		case KindPreempt, KindFinish, KindKill, KindFail:
+			k := runKey{pid, e.Job, e.Task}
+			start, ok := open[k]
+			if !ok {
+				return fmt.Errorf("obs: %s of task %d at t=%d without a start", e.Kind, e.Task, e.Time)
+			}
+			delete(open, k)
+			out = append(out, chromeEvent{
+				Name: taskName(e), Cat: "task", Ph: "X",
+				Ts: start, Dur: e.Time - start, Pid: pid, Tid: e.Type + 1,
+				Args: map[string]any{"exit": e.Kind.String()},
+			})
+			if e.Kind == KindKill || e.Kind == KindFail {
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Cat: "fault", Ph: "i",
+					Ts: e.Time, Pid: pid, Tid: e.Type + 1,
+					Args: map[string]any{"task": e.Task},
+				})
+			}
+		case KindDecision:
+			out = append(out, chromeEvent{
+				Name: "pick " + taskName(e), Cat: "decision", Ph: "i",
+				Ts: e.Time, Pid: pid, Tid: e.Type + 1,
+				Args: map[string]any{"candidates": e.Arg, "score": e.Val},
+			})
+		case KindQueueDepth:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("queue depth α%d", e.Type), Ph: "C",
+				Ts: e.Time, Pid: pid, Tid: 0,
+				Args: map[string]any{"depth": e.Arg},
+			})
+		case KindXUtil:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("x-utilization α%d", e.Type), Ph: "C",
+				Ts: e.Time, Pid: pid, Tid: 0,
+				Args: map[string]any{"r": e.Val},
+			})
+		case KindCapacity:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("capacity α%d", e.Type), Ph: "C",
+				Ts: e.Time, Pid: pid, Tid: 0,
+				Args: map[string]any{"procs": e.Arg},
+			})
+		case KindRelease:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("release job %d", e.Job), Cat: "stream", Ph: "i",
+				Ts: e.Time, Pid: pid, Tid: 0,
+			})
+		}
+	}
+	if len(open) > 0 {
+		return fmt.Errorf("obs: trace ends with %d task(s) still running", len(open))
+	}
+
+	// Process metadata names each scope in the viewer.
+	for _, l := range labels {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: l.pid,
+			Args: map[string]any{"name": l.label},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}

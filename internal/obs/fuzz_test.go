@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJSONLRoundTrip holds the JSONL encode/decode pair together: any
+// line DecodeJSONL accepts must re-encode to a canonical form that
+// decodes back to the identical event, and that canonical form must be
+// a fixed point of the round-trip (so every valid event has exactly
+// one wire representation).
+func FuzzJSONLRoundTrip(f *testing.F) {
+	seeds := sampleTrace()
+	for _, e := range seeds {
+		line, err := EncodeJSONL(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{"t":0,"kind":"xutil","type":2,"arg":3,"val":0.5}`))
+	f.Add([]byte(`{"t":9,"kind":"decision","task":7,"type":1,"arg":4,"val":1e300}`))
+	f.Add([]byte(`{"t":1,"kind":"scope-begin","label":"KGreedy"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"t":0,"kind":"start","task":1,"type":0,"job":-1}`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		e, err := DecodeJSONL(line)
+		if err != nil {
+			return // invalid lines just need to be rejected, not crash
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("DecodeJSONL returned an invalid event %+v: %v", e, err)
+		}
+		enc, err := EncodeJSONL(e)
+		if err != nil {
+			t.Fatalf("decoded event %+v does not re-encode: %v", e, err)
+		}
+		e2, err := DecodeJSONL(enc)
+		if err != nil {
+			t.Fatalf("canonical line %s does not decode: %v", enc, err)
+		}
+		if e2 != e {
+			t.Fatalf("round-trip changed the event: %+v -> %s -> %+v", e, enc, e2)
+		}
+		enc2, err := EncodeJSONL(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point: %s vs %s", enc, enc2)
+		}
+	})
+}

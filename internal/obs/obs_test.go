@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleTrace covers every event kind in a schema-valid arrangement.
+func sampleTrace() []Event {
+	return []Event{
+		ScopeEv(KindScopeBegin, "MQB"),
+		DecisionEv(0, 3, 0, 5, 1.25),
+		TaskEv(KindStart, 0, 3, 0),
+		TypeEv(KindQueueDepth, 0, 0, 4, 0),
+		TypeEv(KindXUtil, 0, 0, 2, 3.5),
+		TypeEv(KindCapacity, 5, 0, 1, 0),
+		TaskEv(KindKill, 5, 3, 0),
+		TaskEv(KindStart, 6, 3, 0),
+		TaskEv(KindFail, 9, 3, 0),
+		JobTaskEv(KindStart, 10, 1, 3, 0),
+		JobTaskEv(KindPreempt, 11, 1, 3, 0),
+		JobTaskEv(KindStart, 12, 1, 3, 0),
+		JobTaskEv(KindFinish, 14, 1, 3, 0),
+		ReleaseEv(12, 2),
+		ScopeEv(KindScopeEnd, "MQB"),
+	}
+}
+
+func TestValidateTrace(t *testing.T) {
+	if err := ValidateTrace(sampleTrace()); err != nil {
+		t.Fatalf("sample trace invalid: %v", err)
+	}
+}
+
+func TestEventValidateRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		e    Event
+	}{
+		{"unknown kind", Event{Kind: numKinds, Task: -1, Job: -1, Type: -1}},
+		{"negative time", Event{Time: -1, Kind: KindStart, Task: 1, Job: -1, Type: 0}},
+		{"below sentinel", Event{Kind: KindStart, Task: -2, Job: -1, Type: 0}},
+		{"start without task", TypeEv(KindStart, 0, 0, 0, 0)},
+		{"nan val", Event{Kind: KindXUtil, Task: -1, Job: -1, Type: 0, Arg: 1, Val: math.NaN()}},
+		{"inf val", Event{Kind: KindXUtil, Task: -1, Job: -1, Type: 0, Arg: 1, Val: math.Inf(1)}},
+		{"xutil zero capacity", TypeEv(KindXUtil, 0, 0, 0, 1)},
+		{"qdepth negative arg", Event{Kind: KindQueueDepth, Task: -1, Job: -1, Type: 0, Arg: -1}},
+		{"release without job", Event{Kind: KindRelease, Task: -1, Job: -1, Type: -1}},
+		{"scope without label", ScopeEv(KindScopeBegin, "")},
+		{"scope label newline", ScopeEv(KindScopeBegin, "a\nb")},
+		{"label on start", Event{Kind: KindStart, Task: 1, Job: -1, Type: 0, Label: "x"}},
+	}
+	for _, tc := range bad {
+		if err := tc.e.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.e)
+		}
+	}
+}
+
+func TestValidateTraceScopeNesting(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"dangling begin", []Event{ScopeEv(KindScopeBegin, "a")}},
+		{"unmatched end", []Event{ScopeEv(KindScopeEnd, "a")}},
+		{"crossed scopes", []Event{
+			ScopeEv(KindScopeBegin, "a"),
+			ScopeEv(KindScopeBegin, "b"),
+			ScopeEv(KindScopeEnd, "a"),
+			ScopeEv(KindScopeEnd, "b"),
+		}},
+	}
+	for _, tc := range cases {
+		if err := ValidateTrace(tc.events); err == nil {
+			t.Errorf("%s: ValidateTrace accepted", tc.name)
+		}
+	}
+	nested := []Event{
+		ScopeEv(KindScopeBegin, "outer"),
+		ScopeEv(KindScopeBegin, "inner"),
+		ScopeEv(KindScopeEnd, "inner"),
+		ScopeEv(KindScopeEnd, "outer"),
+	}
+	if err := ValidateTrace(nested); err != nil {
+		t.Errorf("proper nesting rejected: %v", err)
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// All methods must be safe no-ops.
+	tr.Emit(TaskEv(KindStart, 0, 1, 0))
+	tr.BeginScope("x")
+	tr.EndScope("x")
+	tr.Reset()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer holds events")
+	}
+}
+
+func TestTracerCollects(t *testing.T) {
+	tr := NewTracer()
+	for _, e := range sampleTrace() {
+		tr.Emit(e)
+	}
+	if tr.Len() != len(sampleTrace()) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(sampleTrace()))
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tr.Len())
+	}
+}
+
+func TestNilRegistryHandlesDiscard(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles retained values")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshots non-empty")
+	}
+}
+
+func TestRegistryCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total")
+	c.Add(2)
+	c.Inc()
+	c.Add(-5) // discarded: counters never run backwards
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter("a_total") != c {
+		t.Fatal("second lookup returned a different handle")
+	}
+	h := r.Histogram("h")
+	h.Observe(1)       // le=1 bucket
+	h.Observe(3)       // le=4
+	h.Observe(1 << 30) // past the largest bound: overflow bucket
+	snaps := r.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "a_total" || snaps[1].Name != "h" {
+		t.Fatalf("snapshot order: %+v", snaps)
+	}
+	hs := snaps[1]
+	if hs.Count != 3 || hs.Sum != 4+1<<30 {
+		t.Fatalf("histogram sum/count = %d/%d", hs.Sum, hs.Count)
+	}
+	if hs.Counts[len(hs.Counts)-1] != 1 {
+		t.Fatal("overflow observation not in the trailing bucket")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	for _, fn := range []func(){
+		func() { r.Gauge("dup") },
+		func() { r.Counter("0bad") },
+		func() { r.Histogram("") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCounterConcurrencyDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i % 7))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	snap := r.Snapshot()[0] // sorted by name: "h" before "n"
+	if snap.Name != "h" || snap.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", snap.Count)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestDecodeJSONLRejectsNonCanonical(t *testing.T) {
+	bad := []string{
+		`{"t":0,"kind":"start","task":1,"type":0,"job":-1}`,           // explicit sentinel
+		`{"t":0,"kind":"decision","task":1,"type":0,"arg":0,"val":1}`, // explicit zero arg
+		`{"t":0,"kind":"start","task":1,"type":0,"extra":1}`,          // unknown field
+		`{"t":0,"kind":"warp","task":1,"type":0}`,                     // unknown kind
+		`{"t":0,"kind":"start","task":1,"type":0} {}`,                 // trailing data
+	}
+	for _, line := range bad {
+		if _, err := DecodeJSONL([]byte(line)); err == nil {
+			t.Errorf("DecodeJSONL accepted %s", line)
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"t":0,"kind":"start","task":1,"type":0}` + "\n\n" + `{"t":2,"kind":"finish","task":1,"type":0}` + "\n"
+	events, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int64  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	var slices, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+		case "M":
+			meta++
+		}
+	}
+	// sampleTrace closes four runs (kill, fail, preempt, finish) and
+	// declares one scope.
+	if slices != 4 || meta != 1 {
+		t.Fatalf("chrome trace has %d slices and %d metadata records, want 4 and 1", slices, meta)
+	}
+
+	// A closing event without a start is an error, not a silent drop.
+	if err := WriteChromeTrace(&buf, []Event{TaskEv(KindFinish, 3, 1, 0)}); err == nil {
+		t.Fatal("unmatched finish accepted")
+	}
+	// A run left open is an error too.
+	if err := WriteChromeTrace(&buf, []Event{TaskEv(KindStart, 0, 1, 0)}); err == nil {
+		t.Fatal("dangling start accepted")
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(4)
+	r.Gauge("g").Set(1.5)
+	h := r.Histogram("a_hist")
+	h.Observe(1)
+	h.Observe(3)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_hist histogram",
+		`a_hist_bucket{le="1"} 1`,
+		`a_hist_bucket{le="4"} 2`,
+		`a_hist_bucket{le="+Inf"} 2`,
+		"a_hist_sum 4",
+		"a_hist_count 2",
+		"# TYPE b_total counter",
+		"b_total 4",
+		"g 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus dump missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the histogram comes first.
+	if strings.Index(out, "a_hist") > strings.Index(out, "b_total") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestFingerprintEquality(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("c").Add(7)
+		r.Histogram("h").Observe(9)
+		return r
+	}
+	if build().Fingerprint() != build().Fingerprint() {
+		t.Fatal("identical registries fingerprint differently")
+	}
+	other := build()
+	other.Counter("c").Inc()
+	if build().Fingerprint() == other.Fingerprint() {
+		t.Fatal("different registries fingerprint equal")
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labeled buckets plus _sum and
+// _count series. Metrics appear sorted by name — Snapshot's order — so
+// two dumps of equal registries are byte-identical.
+func WritePrometheus(w io.Writer, snaps []MetricSnapshot) error {
+	for _, s := range snaps {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "histogram":
+			// Prometheus buckets are cumulative.
+			var cum int64
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", s.Name, b, cum); err != nil {
+					return err
+				}
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", s.Name, s.Sum, s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatPromValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatPromValue renders a sample value: integers without an
+// exponent, everything else in Go's shortest round-trip form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use and nil-receiver safe (a nil counter discards).
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Deltas must be non-negative; negative
+// deltas are discarded so a shared registry can never run backwards.
+func (c *Counter) Add(d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric. Concurrent writers race by
+// design (last write wins), so deterministic pipelines only set gauges
+// from a single goroutine — the engines use counters and histograms
+// exclusively for exactly this reason.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultBounds returns the registry's default histogram bucket upper
+// bounds: powers of two from 1 to 2^20. Fixed, data-independent bounds
+// keep bucket counts deterministic across runs and worker counts.
+func DefaultBounds() []int64 {
+	bounds := make([]int64, 21)
+	for i := range bounds {
+		bounds[i] = 1 << i
+	}
+	return bounds
+}
+
+// Histogram counts int64 observations into fixed buckets. Buckets,
+// count and sum are atomics, so concurrent observation is safe and
+// totals are order-independent.
+type Histogram struct {
+	bounds   []int64 // sorted upper bounds; a final +Inf bucket is implicit
+	buckets  []atomic.Int64
+	sum, cnt atomic.Int64
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.cnt.Add(1)
+}
+
+// Registry is a named collection of metrics. Metric handles are
+// created on first use and cached; resolving a handle takes the
+// registry lock, so hot paths resolve once up front and then touch
+// only the lock-free handles. A nil Registry is the disabled registry:
+// every lookup returns a nil handle whose methods discard.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// validName enforces the Prometheus metric-name grammar, which the
+// text exporter depends on: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the named counter, creating it on first use. An
+// invalid name or a name already registered as another metric type
+// panics: metric names are static program identifiers, so a collision
+// is a programming error, not an input error.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkNew(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkNew(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram with the default power-of-two
+// buckets, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkNew(name)
+	bounds := DefaultBounds()
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+// checkNew panics if name is invalid or taken by another metric type.
+// Callers hold r.mu.
+func (r *Registry) checkNew(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.histograms[name]
+	if c || g || h {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different type", name))
+	}
+}
+
+// MetricSnapshot is one metric's frozen state. Kind is "counter",
+// "gauge" or "histogram"; Bounds/Counts/Sum/Count are histogram-only
+// (Counts has one extra trailing overflow bucket).
+type MetricSnapshot struct {
+	Name   string
+	Kind   string
+	Value  float64
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot freezes every registered metric, sorted by name — the
+// deterministic order every consumer (tests, the Prometheus exporter,
+// fingerprints) relies on. A nil registry snapshots empty.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snaps := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	// Map iteration feeds a sort, not output: the combined slice is
+	// ordered by name before anyone sees it.
+	for name, c := range r.counters {
+		snaps = append(snaps, MetricSnapshot{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		snaps = append(snaps, MetricSnapshot{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s := MetricSnapshot{
+			Name:   name,
+			Kind:   "histogram",
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Sum:    h.sum.Load(),
+			Count:  h.cnt.Load(),
+		}
+		for i := range h.buckets {
+			s.Counts[i] = h.buckets[i].Load()
+		}
+		snaps = append(snaps, s)
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	return snaps
+}
+
+// Fingerprint renders the snapshot as one canonical string, for
+// determinism tests that assert two registries (or the same registry
+// under different worker counts) observed identical totals.
+func (r *Registry) Fingerprint() string {
+	var b strings.Builder
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case "histogram":
+			fmt.Fprintf(&b, "%s{histogram sum=%d count=%d counts=%v}\n", s.Name, s.Sum, s.Count, s.Counts)
+		default:
+			fmt.Fprintf(&b, "%s{%s %g}\n", s.Name, s.Kind, s.Value)
+		}
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 
 	"fhs/internal/dag"
 	"fhs/internal/fault"
+	"fhs/internal/obs"
 )
 
 // Run simulates g on the machine described by cfg under scheduler s
@@ -153,6 +154,8 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 	st := newState(g, cfg)
 	res := Result{BusyTime: make([]int64, g.K()), WastedWork: make([]int64, g.K())}
 	tl := timeline(cfg)
+	tr := cfg.Obs
+	mets := newSimMetrics(cfg.Metrics)
 	// runBusy[α] counts occupied processors; idle capacity is
 	// cap[α]-runBusy[α]. Tracking the busy side (rather than the idle
 	// side, as the fault-free engine did) survives capacity changes
@@ -178,11 +181,18 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				}
 				runBusy[a]++
 				res.Decisions++
+				mets.started.Inc()
 				running.push(runningTask{finish: st.now + st.remaining[id], start: st.now, id: id})
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
 				}
+				if tr.Enabled() {
+					tr.Emit(obs.TaskEv(obs.KindStart, st.now, int64(id), int64(alpha)))
+				}
 			}
+		}
+		if tr.Enabled() {
+			emitSamples(tr, st)
 		}
 		// Advance to the next event: the earliest completion or the next
 		// capacity breakpoint, whichever comes first. With nothing
@@ -221,10 +231,13 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 			alpha := g.Task(rt.id).Type
 			work := st.remaining[rt.id]
 			res.BusyTime[alpha] += work
+			mets.busy.Add(work)
 			runBusy[alpha]--
 			if cfg.Faults.FailsCompletion(rt.id, st.attempts[rt.id]) {
 				res.WastedWork[alpha] += work
 				res.Failures++
+				mets.failures.Inc()
+				mets.wasted.Add(work)
 				if err := st.retry(rt.id); err != nil {
 					return res, err
 				}
@@ -232,12 +245,20 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventFail})
 				}
+				if tr.Enabled() {
+					tr.Emit(obs.TaskEv(obs.KindFail, t, int64(rt.id), int64(alpha)))
+				}
 				continue
 			}
 			st.remaining[rt.id] = 0
 			st.complete(rt.id, nil)
+			mets.completed.Inc()
+			mets.runWork.Observe(work)
 			if cfg.CollectTrace {
 				res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventFinish})
+			}
+			if tr.Enabled() {
+				tr.Emit(obs.TaskEv(obs.KindFinish, t, int64(rt.id), int64(alpha)))
 			}
 		}
 		// Capacity phase: apply breakpoints landing at this instant. A
@@ -247,7 +268,11 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		if tl != nil && nextChange == t {
 			for a := 0; a < g.K(); a++ {
 				alpha := dag.Type(a)
+				oldCap := st.cap[a]
 				st.cap[a] = tl.CapAt(alpha, t)
+				if tr.Enabled() && st.cap[a] != oldCap {
+					tr.Emit(obs.TypeEv(obs.KindCapacity, t, int64(a), int64(st.cap[a]), 0))
+				}
 				for runBusy[a] > st.cap[a] {
 					victim := -1
 					for i := range running {
@@ -264,6 +289,9 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 					res.BusyTime[alpha] += elapsed
 					res.WastedWork[alpha] += elapsed
 					res.Kills++
+					mets.kills.Inc()
+					mets.busy.Add(elapsed)
+					mets.wasted.Add(elapsed)
 					runBusy[a]--
 					if err := st.retry(rt.id); err != nil {
 						return res, err
@@ -271,6 +299,9 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 					requeued = true
 					if cfg.CollectTrace {
 						res.Trace = append(res.Trace, Event{Time: t, Task: rt.id, Type: alpha, Kind: EventKill})
+					}
+					if tr.Enabled() {
+						tr.Emit(obs.TaskEv(obs.KindKill, t, int64(rt.id), int64(alpha)))
 					}
 				}
 			}
@@ -288,6 +319,8 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 	st := newState(g, cfg)
 	res := Result{BusyTime: make([]int64, g.K()), WastedWork: make([]int64, g.K())}
 	tl := timeline(cfg)
+	tr := cfg.Obs
+	mets := newSimMetrics(cfg.Metrics)
 	quantum := cfg.Quantum
 	if quantum <= 0 {
 		quantum = 1
@@ -302,7 +335,11 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		}
 		if tl != nil {
 			for a := range st.cap {
+				oldCap := st.cap[a]
 				st.cap[a] = tl.CapAt(dag.Type(a), st.now)
+				if tr.Enabled() && st.cap[a] != oldCap {
+					tr.Emit(obs.TypeEv(obs.KindCapacity, st.now, int64(a), int64(st.cap[a]), 0))
+				}
 			}
 		}
 		// Every processor is reassignable at a quantum boundary: all
@@ -319,11 +356,18 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 					return res, fmt.Errorf("sim: scheduler %s picked task %d which is not ready on pool %d", s.Name(), id, a)
 				}
 				res.Decisions++
+				mets.started.Inc()
 				assigned = append(assigned, id)
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
 				}
+				if tr.Enabled() {
+					tr.Emit(obs.TaskEv(obs.KindStart, st.now, int64(id), int64(alpha)))
+				}
 			}
+		}
+		if tr.Enabled() {
+			emitSamples(tr, st)
 		}
 		if len(assigned) == 0 {
 			// Fully crashed pools can idle the whole machine; sleep until
@@ -359,6 +403,7 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 			alpha := g.Task(id).Type
 			st.remaining[id] -= step
 			res.BusyTime[alpha] += step
+			mets.busy.Add(step)
 			if st.remaining[id] > 0 {
 				still[alpha] = append(still[alpha], id)
 				continue
@@ -368,6 +413,8 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				st.remaining[id] = work
 				res.WastedWork[alpha] += work
 				res.Failures++
+				mets.failures.Inc()
+				mets.wasted.Add(work)
 				if err := st.retry(id); err != nil {
 					return res, err
 				}
@@ -375,11 +422,19 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventFail})
 				}
+				if tr.Enabled() {
+					tr.Emit(obs.TaskEv(obs.KindFail, st.now, int64(id), int64(alpha)))
+				}
 				continue
 			}
 			st.complete(id, nil)
+			mets.completed.Inc()
+			mets.runWork.Observe(g.Task(id).Work)
 			if cfg.CollectTrace {
 				res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventFinish})
+			}
+			if tr.Enabled() {
+				tr.Emit(obs.TaskEv(obs.KindFinish, st.now, int64(id), int64(alpha)))
 			}
 		}
 		// Unfinished tasks rejoin their queues. If a pool's capacity
@@ -410,17 +465,25 @@ func runPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 					st.remaining[id] += step
 					res.WastedWork[alpha] += step
 					res.Kills++
+					mets.kills.Inc()
+					mets.wasted.Add(step)
 					if err := st.retry(id); err != nil {
 						return res, err
 					}
 					if cfg.CollectTrace {
 						res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventKill})
 					}
+					if tr.Enabled() {
+						tr.Emit(obs.TaskEv(obs.KindKill, st.now, int64(id), int64(alpha)))
+					}
 					continue
 				}
 				st.enqueue(id)
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventPreempt})
+				}
+				if tr.Enabled() {
+					tr.Emit(obs.TaskEv(obs.KindPreempt, st.now, int64(id), int64(alpha)))
 				}
 			}
 			requeued = true

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+)
+
+// simMetrics holds the engine's pre-resolved metric handles. Handles
+// are looked up once per Run — never on the event loop — and all of
+// them are nil (discarding) when Config.Metrics is unset. Only
+// order-independent instruments (counters, histograms) are used, so a
+// registry shared by concurrent simulations aggregates to identical
+// totals for any worker count.
+type simMetrics struct {
+	started   *obs.Counter   // sim_tasks_started_total
+	completed *obs.Counter   // sim_tasks_completed_total
+	kills     *obs.Counter   // sim_kills_total
+	failures  *obs.Counter   // sim_failures_total
+	busy      *obs.Counter   // sim_busy_time_total (processor-time units)
+	wasted    *obs.Counter   // sim_wasted_time_total
+	runWork   *obs.Histogram // sim_task_work: work of each completed task
+}
+
+func newSimMetrics(reg *obs.Registry) simMetrics {
+	if reg == nil {
+		return simMetrics{}
+	}
+	return simMetrics{
+		started:   reg.Counter("sim_tasks_started_total"),
+		completed: reg.Counter("sim_tasks_completed_total"),
+		kills:     reg.Counter("sim_kills_total"),
+		failures:  reg.Counter("sim_failures_total"),
+		busy:      reg.Counter("sim_busy_time_total"),
+		wasted:    reg.Counter("sim_wasted_time_total"),
+		runWork:   reg.Histogram("sim_task_work"),
+	}
+}
+
+// emitSamples streams one per-type observation of the standing ready
+// queues: depth, and x-utilization rα = lα/Pα(t) against live
+// capacity (skipped for fully crashed pools, where rα is undefined).
+// Called once per scheduling step, after the assignment phase. Callers
+// guard with tr.Enabled() so the disabled cost stays one branch.
+func emitSamples(tr *obs.Tracer, st *State) {
+	for a := range st.queues {
+		alpha := dag.Type(a)
+		tr.Emit(obs.TypeEv(obs.KindQueueDepth, st.now, int64(a), int64(st.QueueLen(alpha)), 0))
+		if c := st.cap[a]; c > 0 {
+			tr.Emit(obs.TypeEv(obs.KindXUtil, st.now, int64(a), int64(c), float64(st.QueueWork(alpha))/float64(c)))
+		}
+	}
+}

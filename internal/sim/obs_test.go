@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+)
+
+// lifecycleFromObs projects an obs stream onto the engine's own trace
+// schema, mirroring verify.SimEventsFromObs (which sim tests cannot
+// import without a cycle).
+func lifecycleFromObs(t *testing.T, events []obs.Event) []Event {
+	t.Helper()
+	var out []Event
+	for _, e := range events {
+		var kind EventKind
+		switch e.Kind {
+		case obs.KindStart:
+			kind = EventStart
+		case obs.KindPreempt:
+			kind = EventPreempt
+		case obs.KindFinish:
+			kind = EventFinish
+		case obs.KindKill:
+			kind = EventKill
+		case obs.KindFail:
+			kind = EventFail
+		default:
+			continue
+		}
+		if e.Job != -1 {
+			t.Fatalf("single-job engine emitted job %d", e.Job)
+		}
+		out = append(out, Event{Time: e.Time, Task: dag.TaskID(e.Task), Type: dag.Type(e.Type), Kind: kind})
+	}
+	return out
+}
+
+// obsConfigs are the engine modes the mirror tests cover: the
+// event-driven engine, the quantum-stepped engine, and both under the
+// crash timeline of fault_test.go.
+func obsConfigs(t *testing.T) []struct {
+	name string
+	g    *dag.Graph
+	cfg  Config
+} {
+	t.Helper()
+	fig := dag.Figure1()
+	gf, plan := twoTasks(t)
+	return []struct {
+		name string
+		g    *dag.Graph
+		cfg  Config
+	}{
+		{"nonpreemptive", fig, Config{Procs: []int{2, 2, 2}}},
+		{"preemptive", fig, Config{Procs: []int{2, 2, 2}, Preemptive: true, Quantum: 2}},
+		{"faulty-np", gf, Config{Procs: []int{2}, Faults: plan}},
+		{"faulty-p", gf, Config{Procs: []int{2}, Preemptive: true, Quantum: 2, Faults: plan}},
+	}
+}
+
+// TestObsMirrorsTrace pins the dual-instrumentation contract: the obs
+// stream's lifecycle events must be event-for-event identical to
+// Result.Trace in every engine mode — the property that lets the
+// verify auditor accept an obs trace as evidence.
+func TestObsMirrorsTrace(t *testing.T) {
+	for _, tc := range obsConfigs(t) {
+		tr := obs.NewTracer()
+		cfg := tc.cfg
+		cfg.CollectTrace = true
+		cfg.Obs = tr
+		res, err := Run(tc.g, fifo{}, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := obs.ValidateTrace(tr.Events()); err != nil {
+			t.Fatalf("%s: invalid obs trace: %v", tc.name, err)
+		}
+		got := lifecycleFromObs(t, tr.Events())
+		if !reflect.DeepEqual(got, res.Trace) {
+			t.Errorf("%s: obs lifecycle %v\n  != trace %v", tc.name, got, res.Trace)
+		}
+	}
+}
+
+// TestTracingDoesNotChangeResult runs every mode with and without
+// observability attached and requires bit-identical results: tracing
+// is observational only.
+func TestTracingDoesNotChangeResult(t *testing.T) {
+	for _, tc := range obsConfigs(t) {
+		plain := tc.cfg
+		plain.CollectTrace = true
+		base, err := Run(tc.g, fifo{}, plain)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		traced := plain
+		traced.Obs = obs.NewTracer()
+		traced.Metrics = obs.NewRegistry()
+		got, err := Run(tc.g, fifo{}, traced)
+		if err != nil {
+			t.Fatalf("%s traced: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: tracing changed the result:\n  base %+v\n  traced %+v", tc.name, base, got)
+		}
+	}
+}
+
+// TestSimMetricsTotals cross-checks the engine's counters against the
+// result's own aggregates on a faulty run, where starts, kills, busy
+// and wasted time all diverge from the reliable case.
+func TestSimMetricsTotals(t *testing.T) {
+	g, plan := twoTasks(t)
+	reg := obs.NewRegistry()
+	res, err := Run(g, fifo{}, Config{Procs: []int{2}, Faults: plan, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy, wasted int64
+	for a := range res.BusyTime {
+		busy += res.BusyTime[a]
+		wasted += res.WastedWork[a]
+	}
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"sim_tasks_started_total", res.Decisions},
+		{"sim_tasks_completed_total", int64(g.NumTasks())},
+		{"sim_kills_total", res.Kills},
+		{"sim_failures_total", res.Failures},
+		{"sim_busy_time_total", busy},
+		{"sim_wasted_time_total", wasted},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if got := reg.Histogram("sim_task_work"); got == nil {
+		t.Error("sim_task_work not registered")
+	}
+}
+
+// TestObsSamplesQueueAndXUtil checks that every scheduling step
+// samples each live pool: queue depths for all pools, x-utilizations
+// for pools with live capacity, with rα consistent with its arg.
+func TestObsSamplesQueueAndXUtil(t *testing.T) {
+	tr := obs.NewTracer()
+	g := dag.Figure1()
+	if _, err := Run(g, fifo{}, Config{Procs: []int{2, 2, 2}, Obs: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var depths, utils int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindQueueDepth:
+			depths++
+		case obs.KindXUtil:
+			utils++
+			if e.Arg <= 0 || e.Val < 0 {
+				t.Fatalf("bad xutil sample %+v", e)
+			}
+		}
+	}
+	if depths == 0 || utils == 0 {
+		t.Fatalf("no samples collected (depths=%d utils=%d)", depths, utils)
+	}
+	// All pools stay live on a reliable machine, so the two sample
+	// streams must pair up.
+	if depths != utils {
+		t.Fatalf("depths=%d utils=%d, want equal on a reliable machine", depths, utils)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"fhs/internal/dag"
 	"fhs/internal/fault"
+	"fhs/internal/obs"
 )
 
 // Config describes the machine and execution mode for one simulation.
@@ -55,6 +56,23 @@ type Config struct {
 	// and killed or transiently failed tasks are re-enqueued until the
 	// plan's retry budget is exhausted, at which point Run errors.
 	Faults *fault.Plan
+
+	// Obs streams structured observability events into the given tracer:
+	// task lifecycle (start/preempt/finish/kill/fail), per-type ready-
+	// queue depth and x-utilization rα = lα/Pα sampled at every
+	// scheduling step, capacity breakpoints, and — for schedulers that
+	// support it — contested pick decisions. Nil disables tracing; the
+	// only cost then is one pointer test per would-be event. Unlike
+	// CollectTrace the stream is observational only: it does not change
+	// Result and the engines never read it back.
+	Obs *obs.Tracer
+
+	// Metrics aggregates engine counters and histograms into the given
+	// registry (sim_* names; see DESIGN.md "Observability"). The
+	// registry may be shared across concurrent simulations — the engine
+	// touches only order-independent instruments, so aggregate totals
+	// are identical for any worker count. Nil disables.
+	Metrics *obs.Registry
 
 	// Paranoid audits every finished schedule against the independent
 	// invariant checker in internal/verify: typed capacity, precedence,

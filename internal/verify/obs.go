@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+	"fhs/internal/sim"
+)
+
+// SimEventsFromObs reconstructs a simulation lifecycle trace from an
+// observability stream: the start/preempt/finish/kill/fail events are
+// mapped onto sim.Event and everything observational-only (queue
+// samples, x-utilizations, capacity breakpoints, decisions, releases,
+// scopes) is dropped. The engines emit both streams from the same
+// code paths, so on a single-job run the reconstruction is
+// event-for-event identical to Result.Trace — which is what lets an
+// obs trace serve as audit evidence.
+func SimEventsFromObs(events []obs.Event) ([]sim.Event, error) {
+	var out []sim.Event
+	for i, e := range events {
+		var kind sim.EventKind
+		switch e.Kind {
+		case obs.KindStart:
+			kind = sim.EventStart
+		case obs.KindPreempt:
+			kind = sim.EventPreempt
+		case obs.KindFinish:
+			kind = sim.EventFinish
+		case obs.KindKill:
+			kind = sim.EventKill
+		case obs.KindFail:
+			kind = sim.EventFail
+		default:
+			continue
+		}
+		if e.Task < 0 || e.Type < 0 {
+			return nil, fmt.Errorf("verify: obs event %d (%s at t=%d) has no task identity", i, e.Kind, e.Time)
+		}
+		out = append(out, sim.Event{
+			Time: e.Time,
+			Task: dag.TaskID(e.Task),
+			Type: dag.Type(e.Type),
+			Kind: kind,
+		})
+	}
+	return out, nil
+}
+
+// AuditObs audits a finished simulation using an obs event stream as
+// the evidence source instead of (or in addition to) Result.Trace. The
+// lifecycle events are extracted with SimEventsFromObs; if the result
+// also carries its own trace the two are first cross-checked
+// event-for-event — a divergence means one of the two instrumentation
+// paths lies — and then the reconstruction is replayed through the
+// same independent bookkeeping Audit uses.
+func AuditObs(g *dag.Graph, cfg sim.Config, res *sim.Result, events []obs.Event, opts Options) error {
+	trace, err := SimEventsFromObs(events)
+	if err != nil {
+		return err
+	}
+	if len(trace) == 0 && g.NumTasks() > 0 {
+		return fmt.Errorf("verify: obs stream holds no lifecycle events to audit")
+	}
+	if len(res.Trace) > 0 {
+		if len(res.Trace) != len(trace) {
+			return fmt.Errorf("verify: obs stream reconstructs %d lifecycle events, result trace has %d", len(trace), len(res.Trace))
+		}
+		for i, e := range res.Trace {
+			if trace[i] != e {
+				return fmt.Errorf("verify: obs stream diverges from result trace at event %d: obs %s task %d t=%d, trace %s task %d t=%d",
+					i, trace[i].Kind, trace[i].Task, trace[i].Time, e.Kind, e.Task, e.Time)
+			}
+		}
+	}
+	return auditTrace(g, cfg, res, trace, opts)
+}

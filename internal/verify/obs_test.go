@@ -1,0 +1,140 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+)
+
+// tracedRun executes one scheduler under full tracing and returns the
+// pieces AuditObs needs.
+func tracedRun(t *testing.T, name string, g *dag.Graph, cfg sim.Config) (*sim.Result, []obs.Event) {
+	t.Helper()
+	tr := obs.NewTracer()
+	cfg.Obs = tr
+	tr.BeginScope(name)
+	res, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 1}), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	tr.EndScope(name)
+	return &res, tr.Events()
+}
+
+// TestAuditObsAcceptsTracedRuns is the obs-as-evidence acceptance
+// check: for both engines, on a reliable machine and under a
+// crash+failure plan, the scoped observability stream of every paper
+// scheduler passes the same audit as the engine's own trace —
+// including the capacity-vs-timeline checks on the faulty runs.
+func TestAuditObsAcceptsTracedRuns(t *testing.T) {
+	fg, fprocs, plan := faultyInstance(t)
+	cases := []struct {
+		name string
+		g    *dag.Graph
+		cfg  sim.Config
+	}{
+		{"reliable-np", dag.Figure1(), sim.Config{Procs: []int{2, 2, 2}, CollectTrace: true}},
+		{"reliable-p", dag.Figure1(), sim.Config{Procs: []int{2, 2, 2}, Preemptive: true, CollectTrace: true}},
+		{"faulty-np", fg, sim.Config{Procs: fprocs, Faults: plan, CollectTrace: true}},
+		{"faulty-p", fg, sim.Config{Procs: fprocs, Preemptive: true, Faults: plan, CollectTrace: true}},
+	}
+	for _, tc := range cases {
+		for _, sched := range []string{"KGreedy", "MQB"} {
+			res, events := tracedRun(t, sched, tc.g, tc.cfg)
+			if err := verify.AuditObs(tc.g, tc.cfg, res, events, verify.ForScheduler(sched)); err != nil {
+				t.Errorf("%s/%s: %v", tc.name, sched, err)
+			}
+		}
+	}
+}
+
+// TestAuditObsWithoutResultTrace audits from the obs stream alone —
+// the result carries no trace of its own, so the replay bookkeeping is
+// the only line of defense, and it must still both accept the honest
+// stream and reject a damaged one.
+func TestAuditObsWithoutResultTrace(t *testing.T) {
+	g := dag.Figure1()
+	cfg := sim.Config{Procs: []int{2, 2, 2}}
+	res, events := tracedRun(t, "KGreedy", g, cfg)
+	if len(res.Trace) != 0 {
+		t.Fatal("test premise broken: result should carry no trace")
+	}
+	if err := verify.AuditObs(g, cfg, res, events, verify.ForScheduler("KGreedy")); err != nil {
+		t.Fatalf("honest stream rejected: %v", err)
+	}
+	// Drop the first finish event: a task now runs forever, which the
+	// replay must notice even with nothing to cross-check against.
+	damaged := make([]obs.Event, 0, len(events))
+	dropped := false
+	for _, e := range events {
+		if !dropped && e.Kind == obs.KindFinish {
+			dropped = true
+			continue
+		}
+		damaged = append(damaged, e)
+	}
+	if !dropped {
+		t.Fatal("no finish event to drop")
+	}
+	if err := verify.AuditObs(g, cfg, res, damaged, verify.ForScheduler("KGreedy")); err == nil {
+		t.Error("audit accepted a stream with a missing finish")
+	}
+}
+
+// TestAuditObsDetectsDivergence tampers with a single lifecycle event
+// and requires the cross-check against the engine's own trace to name
+// the exact position.
+func TestAuditObsDetectsDivergence(t *testing.T) {
+	g := dag.Figure1()
+	cfg := sim.Config{Procs: []int{2, 2, 2}, CollectTrace: true}
+	res, events := tracedRun(t, "MQB", g, cfg)
+	tampered := append([]obs.Event(nil), events...)
+	for i := range tampered {
+		if tampered[i].Kind == obs.KindStart {
+			tampered[i].Time++
+			break
+		}
+	}
+	err := verify.AuditObs(g, cfg, res, tampered, verify.ForScheduler("MQB"))
+	if err == nil || !strings.Contains(err.Error(), "diverges") {
+		t.Errorf("want divergence error, got %v", err)
+	}
+	// Removing a lifecycle event entirely is caught as a length
+	// mismatch before the replay even starts.
+	var short []obs.Event
+	skipped := false
+	for _, e := range events {
+		if !skipped && e.Kind == obs.KindStart {
+			skipped = true
+			continue
+		}
+		short = append(short, e)
+	}
+	err = verify.AuditObs(g, cfg, res, short, verify.ForScheduler("MQB"))
+	if err == nil || !strings.Contains(err.Error(), "lifecycle events") {
+		t.Errorf("want length-mismatch error, got %v", err)
+	}
+}
+
+// TestSimEventsFromObsRejectsAnonymousLifecycle checks that a
+// lifecycle event without task identity cannot be smuggled into an
+// audit.
+func TestSimEventsFromObsRejectsAnonymousLifecycle(t *testing.T) {
+	bad := []obs.Event{{Time: 0, Kind: obs.KindStart, Task: -1, Type: 0, Job: -1}}
+	if _, err := verify.SimEventsFromObs(bad); err == nil {
+		t.Error("anonymous start event accepted")
+	}
+	g := dag.Figure1()
+	cfg := sim.Config{Procs: []int{2, 2, 2}}
+	res, _ := tracedRun(t, "KGreedy", g, cfg)
+	// A stream with only observational events has nothing to audit.
+	samples := []obs.Event{obs.TypeEv(obs.KindQueueDepth, 0, 1, 3, 0)}
+	if err := verify.AuditObs(g, cfg, res, samples, verify.Options{}); err == nil {
+		t.Error("audit accepted a stream with no lifecycle events")
+	}
+}

@@ -84,6 +84,17 @@ func init() {
 // finishes. This matches the discrete-time semantics of both engines
 // without depending on their intra-instant event ordering.
 func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
+	if len(res.Trace) == 0 && g.NumTasks() > 0 {
+		return fmt.Errorf("verify: no trace to audit (set Config.CollectTrace)")
+	}
+	return auditTrace(g, cfg, res, res.Trace, opts)
+}
+
+// auditTrace is the shared replay behind Audit and AuditObs: it checks
+// the given lifecycle event sequence — which may be the engine's own
+// Result.Trace or one reconstructed from an obs stream — against the
+// graph, config and reported aggregates.
+func auditTrace(g *dag.Graph, cfg sim.Config, res *sim.Result, trace []sim.Event, opts Options) error {
 	if err := cfg.Validate(g.K()); err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}
@@ -98,8 +109,8 @@ func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
 		}
 		return nil
 	}
-	if len(res.Trace) == 0 {
-		return fmt.Errorf("verify: no trace to audit (set Config.CollectTrace)")
+	if len(trace) == 0 {
+		return fmt.Errorf("verify: no trace to audit")
 	}
 
 	quantum := cfg.Quantum
@@ -150,7 +161,6 @@ func Audit(g *dag.Graph, cfg sim.Config, res *sim.Result, opts Options) error {
 	// preempt, kill, fail) and before claims (start), exactly the
 	// engines' intra-instant order. The non-idling check runs once each
 	// bucket settles.
-	trace := res.Trace
 	lastTime := int64(-1)
 	for i := 0; i < len(trace); {
 		t := trace[i].Time
