@@ -1,0 +1,211 @@
+// Command fhd runs the online multi-job scheduling service: a
+// deterministic event-loop core accepting K-DAG job arrivals over
+// shared typed pools, exposed as a JSON-over-HTTP API.
+//
+// Usage:
+//
+//	fhd -procs P1,P2,... [-addr HOST:PORT] [-sched NAME]
+//	    [-quota N] [-quotas tenant=N,...] [-nofair] [-workers N]
+//	fhd -procs P1,P2,... -replay trace.jsonl [-noaudit]
+//	    [-obs FILE] [-metrics FILE]
+//
+// In serve mode fhd listens on -addr; see DESIGN.md for the API. In
+// replay mode fhd feeds a recorded arrival trace (as written by
+// fhgen -arrivals) through a fresh core, audits the resulting stream
+// with the independent verifier, prints the per-tenant summary and the
+// canonical replay fingerprint, and exits. The fingerprint is
+// bit-identical across runs, worker counts and server restarts — CI
+// replays the same trace twice and compares.
+//
+// Examples:
+//
+//	fhgen -arrivals 20 -tenants acme:2,blob:1 -k 2 > trace.jsonl
+//	fhd -procs 2,2 -replay trace.jsonl
+//	fhd -procs 2,2 -addr 127.0.0.1:8080 &
+//	curl -X POST localhost:8080/v1/jobs -d \
+//	  '{"id":"j0","tenant":"acme","spec":{"class":"ep","k":2,"seed":7}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"fhs/internal/obs"
+	"fhs/internal/service"
+	"fhs/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fhd: ")
+	var (
+		procsSpec  = flag.String("procs", "", "pool sizes per type, e.g. 2,2,3")
+		addr       = flag.String("addr", "127.0.0.1:8080", "serve mode: listen address")
+		schedName  = flag.String("sched", "MQB", "scheduler name (MQB or KGreedy)")
+		quota      = flag.Int("quota", 0, "default per-tenant admission quota (0 = unlimited)")
+		quotasSpec = flag.String("quotas", "", "per-tenant quota overrides, e.g. acme=2,blob=1")
+		nofair     = flag.Bool("nofair", false, "disable deterministic fair share (FIFO within priority)")
+		workers    = flag.Int("workers", 1, "parallel scoring workers (never changes outcomes)")
+		replayPath = flag.String("replay", "", "replay mode: arrival trace file (JSONL)")
+		noaudit    = flag.Bool("noaudit", false, "replay mode: skip the independent stream audit")
+		obsPath    = flag.String("obs", "", "replay mode: write the obs event stream (JSONL) to this file")
+		metricsF   = flag.String("metrics", "", "replay mode: write Prometheus metrics to this file")
+	)
+	flag.Parse()
+	if *procsSpec == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	procs, err := parsePools(*procsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quotas, err := parseQuotas(*quotasSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := service.Config{
+		Procs:        procs,
+		Scheduler:    *schedName,
+		DefaultQuota: *quota,
+		Quotas:       quotas,
+		NoFairShare:  *nofair,
+		Workers:      *workers,
+		Obs:          obs.NewTracer(),
+		Metrics:      obs.NewRegistry(),
+	}
+
+	if *replayPath != "" {
+		if err := replay(cfg, *replayPath, !*noaudit, *obsPath, *metricsF); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	core, err := service.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (procs %s, sched %s)", *addr, *procsSpec, *schedName)
+	log.Fatal(http.ListenAndServe(*addr, service.NewHandler(core)))
+}
+
+// replay feeds a recorded arrival trace through a fresh core and
+// reports the outcome: admission counts, per-tenant weighted
+// completion times, the audit verdict and the replay fingerprint.
+func replay(cfg service.Config, path string, audit bool, obsPath, metricsPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	ops, err := service.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res, err := service.Replay(cfg, ops)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	fmt.Printf("replayed %d ops: %d submitted, %d rejected, %d cancelled, %d cancel misses, makespan %d\n",
+		len(ops), res.Submitted, res.Rejected, res.Cancelled, res.CancelMisses, res.Makespan)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tadmitted\tdone\tcancelled\trejected\tweighted completion\tflow sum")
+	for _, ts := range res.Summary.Tenants {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f\t%d\n",
+			ts.Tenant, ts.Admitted, ts.Done, ts.Cancelled, ts.Rejected, ts.WeightedCompletion, ts.FlowSum)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if audit {
+		sa := verify.StreamAudit{
+			Procs:        cfg.Procs,
+			DefaultQuota: cfg.DefaultQuota,
+			Quotas:       cfg.Quotas,
+			FairShare:    !cfg.NoFairShare,
+		}
+		for _, j := range res.Stream {
+			sa.Jobs = append(sa.Jobs, verify.StreamJob{
+				Job: j.Idx, Tenant: j.Tenant, Priority: j.Priority,
+				Weight: j.Weight, Graph: j.Graph,
+			})
+		}
+		if err := verify.AuditServiceStream(sa, res.Events); err != nil {
+			return fmt.Errorf("stream audit failed: %w", err)
+		}
+		fmt.Printf("audit: ok (%d jobs, %d events)\n", len(sa.Jobs), len(res.Events))
+	}
+
+	if obsPath != "" {
+		if err := writeFile(obsPath, func(w *os.File) error {
+			return obs.WriteJSONL(w, res.Events)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", obsPath, len(res.Events))
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, func(w *os.File) error {
+			return obs.WritePrometheus(w, cfg.Metrics.Snapshot())
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsPath)
+	}
+
+	fmt.Printf("fingerprint: %s\n", res.Fingerprint)
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func parsePools(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	pools := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad pool size %q: %v", p, err)
+		}
+		pools = append(pools, v)
+	}
+	return pools, nil
+}
+
+func parseQuotas(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	quotas := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad quota %q, want tenant=N", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("bad quota %q: %v", part, err)
+		}
+		quotas[name] = n
+	}
+	return quotas, nil
+}

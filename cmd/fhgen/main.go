@@ -1,19 +1,24 @@
 // Command fhgen generates K-DAG job files from the paper's workload
 // distributions, or from the Theorem 2 adversarial construction, and
 // writes them as JSON (the job-file format of cmd/fhsched) or
-// Graphviz DOT.
+// Graphviz DOT. With -arrivals it instead emits a multi-job arrival
+// trace (JSONL) for the fhd service: timed submits across weighted
+// tenants with a configurable cancel fraction.
 //
 // Usage:
 //
 //	fhgen -class ep|tree|ir|adversarial|figure1 [-typing layered|random]
 //	      [-k K] [-seed S] [-format json|dot] [-m M] [-procs P1,P2,...]
 //	      [-o FILE]
+//	fhgen -arrivals N [-tenants name:W,...] [-mean-gap G] [-cancel F]
+//	      [-priorities P] [-class C] [-k K] [-seed S] [-o FILE]
 //
 // Examples:
 //
 //	fhgen -class ep -typing layered -k 4 -seed 7 > job.json
 //	fhgen -class tree -format dot | dot -Tpng > tree.png
 //	fhgen -class adversarial -procs 3,3,3,3 -m 4 > bad.json
+//	fhgen -arrivals 20 -tenants acme:2,blob:1 -k 2 -cancel 0.2 > trace.jsonl
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"strings"
 
 	"fhs/internal/dag"
+	"fhs/internal/service"
 	"fhs/internal/workload"
 )
 
@@ -42,10 +48,26 @@ func main() {
 		m      = flag.Int("m", 4, "adversarial parameter M")
 		procs  = flag.String("procs", "", "adversarial pool sizes, e.g. 3,3,3,3 (default 3 per type)")
 		out    = flag.String("o", "", "output file (default stdout)")
+
+		arrivals   = flag.Int("arrivals", 0, "emit an fhd arrival trace with this many job submits instead of one graph")
+		tenants    = flag.String("tenants", "", "arrival-trace tenants as name:weight pairs, e.g. acme:2,blob:1")
+		meanGap    = flag.Int64("mean-gap", 4, "arrival-trace mean inter-arrival gap")
+		cancelFrac = flag.Float64("cancel", 0, "arrival-trace fraction of jobs cancelled later")
+		priorities = flag.Int("priorities", 1, "arrival-trace priority levels (1 = all equal)")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *arrivals > 0 {
+		if err := generateArrivals(*out, genArrivalsConfig{
+			jobs: *arrivals, tenants: *tenants, meanGap: *meanGap,
+			cancelFrac: *cancelFrac, priorities: *priorities,
+			class: *class, k: *k, seedBase: *seed,
+		}, rng); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	g, err := generate(*class, *typing, *k, *m, *procs, rng)
 	if err != nil {
 		log.Fatal(err)
@@ -80,23 +102,95 @@ func main() {
 		g.NumTasks(), g.K(), g.Span(), g.TotalWork())
 }
 
+type genArrivalsConfig struct {
+	jobs       int
+	tenants    string
+	meanGap    int64
+	cancelFrac float64
+	priorities int
+	class      string
+	k          int
+	seedBase   int64
+}
+
+// generateArrivals writes a multi-job arrival trace for the fhd
+// service. The single -class flag pins one workload class; left at its
+// default the trace rotates through all three paper classes.
+func generateArrivals(out string, gc genArrivalsConfig, rng *rand.Rand) error {
+	specs, err := parseTenants(gc.tenants)
+	if err != nil {
+		return err
+	}
+	var classes []string
+	if gc.class != "" && gc.class != "ep" {
+		if _, err := workload.ClassByName(gc.class); err != nil {
+			return fmt.Errorf("-arrivals: %w", err)
+		}
+		classes = []string{gc.class}
+	}
+	ops, err := service.GenerateTrace(service.GenConfig{
+		Jobs:           gc.jobs,
+		Tenants:        specs,
+		MeanGap:        gc.meanGap,
+		CancelFrac:     gc.cancelFrac,
+		Classes:        classes,
+		K:              gc.k,
+		SeedBase:       gc.seedBase,
+		PriorityLevels: gc.priorities,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := service.WriteTrace(w, ops); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fhgen: %d ops (%d submits), %d tenants, span t=0..%d\n",
+		len(ops), gc.jobs, max(len(specs), 1), ops[len(ops)-1].T)
+	return nil
+}
+
+// parseTenants parses name:weight pairs; weights are optional and
+// default to 1.
+func parseTenants(spec string) ([]service.TenantSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var specs []service.TenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if name == "" {
+			return nil, fmt.Errorf("bad tenant %q, want name or name:weight", part)
+		}
+		w := 1.0
+		if ok {
+			var err error
+			if w, err = strconv.ParseFloat(val, 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad tenant weight %q", part)
+			}
+		}
+		specs = append(specs, service.TenantSpec{Name: name, Weight: w})
+	}
+	return specs, nil
+}
+
 func generate(class, typing string, k, m int, procs string, rng *rand.Rand) (*dag.Graph, error) {
-	var ty workload.Typing
-	switch strings.ToLower(typing) {
-	case "layered":
-		ty = workload.Layered
-	case "random":
-		ty = workload.Random
-	default:
-		return nil, fmt.Errorf("unknown typing %q (want layered or random)", typing)
+	ty, err := workload.TypingByName(typing)
+	if err != nil {
+		return nil, err
+	}
+	if cl, err := workload.ClassByName(class); err == nil {
+		return workload.Generate(workload.Default(cl, k, ty), rng)
 	}
 	switch strings.ToLower(class) {
-	case "ep":
-		return workload.Generate(workload.DefaultEP(k, ty), rng)
-	case "tree":
-		return workload.Generate(workload.DefaultTree(k, ty), rng)
-	case "ir":
-		return workload.Generate(workload.DefaultIR(k, ty), rng)
 	case "figure1":
 		return dag.Figure1(), nil
 	case "adversarial":

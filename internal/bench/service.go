@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math/rand"
+
+	"fhs/internal/service"
+)
+
+// serviceReplayBench measures one full trace replay through the online
+// service core per op: a multi-tenant arrival trace with cancels and
+// priorities, drained to completion. Jobs scale with the suite so
+// -scale moves this entry with the others. No tracer is attached — the
+// entry measures the event loop and the admission/fair-share machinery,
+// not event formatting — so the fingerprint folds the run summary
+// instead of the obs stream.
+func serviceReplayBench(scheduler string) func(Scale) (func() (Fingerprint, error), error) {
+	return func(sc Scale) (func() (Fingerprint, error), error) {
+		jobs := 4 * sc.Instances
+		if jobs < 8 {
+			jobs = 8
+		}
+		ops, err := service.GenerateTrace(service.GenConfig{
+			Jobs: jobs,
+			Tenants: []service.TenantSpec{
+				{Name: "acme", Weight: 2},
+				{Name: "blob", Weight: 1},
+				{Name: "core", Weight: 1},
+			},
+			MeanGap:        3,
+			CancelFrac:     0.15,
+			K:              4,
+			SeedBase:       sc.Seed + 6,
+			PriorityLevels: 2,
+		}, rand.New(rand.NewSource(sc.Seed+6)))
+		if err != nil {
+			return nil, err
+		}
+		cfg := service.Config{Procs: []int{3, 3, 3, 3}, Scheduler: scheduler}
+		return func() (Fingerprint, error) {
+			res, err := service.Replay(cfg, ops)
+			if err != nil {
+				return Fingerprint{}, err
+			}
+			var wct float64
+			for _, ts := range res.Summary.Tenants {
+				wct += ts.WeightedCompletion
+			}
+			return Fingerprint{
+				Instances: float64(res.Submitted),
+				Decisions: float64(res.Summary.Tasks),
+				Checksum:  float64(res.Makespan) + wct,
+			}, nil
+		}, nil
+	}
+}

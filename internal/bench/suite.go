@@ -26,6 +26,8 @@ func Suite() []Benchmark {
 		{Name: "engine/p/kgreedy-ir", Setup: engineBench("KGreedy", workload.IR, true, false)},
 		{Name: "engine/p/mqb-ir", Setup: engineBench("MQB", workload.IR, true, false)},
 		{Name: "sim/paranoid/mqb-ir", Setup: engineBench("MQB", workload.IR, false, true)},
+		{Name: "service/replay-mqb", Setup: serviceReplayBench("MQB")},
+		{Name: "service/replay-kgreedy", Setup: serviceReplayBench("KGreedy")},
 		{Name: "core/mqb-pick-wide-ep", Setup: mqbPickBench},
 		{Name: "dag/typed-descendants", Setup: typedDescBench},
 		{Name: "dag/onestep-descendants", Setup: oneStepDescBench},

@@ -37,6 +37,7 @@ var detrandScope = []string{
 	"fhs/internal/exp",
 	"fhs/internal/multi",
 	"fhs/internal/opt",
+	"fhs/internal/service",
 }
 
 func detrandApplies(pkgPath string) bool {

@@ -122,6 +122,11 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Name: fmt.Sprintf("release job %d", e.Job), Cat: "stream", Ph: "i",
 				Ts: e.Time, Pid: pid, Tid: 0,
 			})
+		case KindCancel:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("cancel job %d", e.Job), Cat: "stream", Ph: "i",
+				Ts: e.Time, Pid: pid, Tid: 0,
+			})
 		}
 	}
 	if len(open) > 0 {

@@ -66,6 +66,12 @@ const (
 	// KindRelease records a job release in a multi-job stream: Job is
 	// the released job's index.
 	KindRelease
+	// KindCancel records a job cancellation in an online service
+	// stream: Job is the cancelled job's index. Ready tasks of the job
+	// leave their queues at this instant; already-running tasks still
+	// finish (non-preemptive machines run placements to completion)
+	// but unlock no successors.
+	KindCancel
 	// KindScopeBegin and KindScopeEnd bracket a named sub-trace
 	// (one simulation inside a combined file); Label names the scope.
 	// Simulation time restarts inside each scope.
@@ -79,7 +85,7 @@ const (
 var kindNames = [numKinds]string{
 	"start", "preempt", "finish", "kill", "fail",
 	"decision", "qdepth", "xutil", "capacity", "release",
-	"scope-begin", "scope-end",
+	"cancel", "scope-begin", "scope-end",
 }
 
 func (k Kind) String() string {
@@ -142,6 +148,11 @@ func ReleaseEv(t, job int64) Event {
 	return Event{Time: t, Kind: KindRelease, Task: -1, Job: job, Type: -1}
 }
 
+// CancelEv builds a job-cancellation record.
+func CancelEv(t, job int64) Event {
+	return Event{Time: t, Kind: KindCancel, Task: -1, Job: job, Type: -1}
+}
+
 // ScopeEv builds a scope boundary.
 func ScopeEv(k Kind, label string) Event {
 	return Event{Kind: k, Task: -1, Job: -1, Type: -1, Label: label}
@@ -178,9 +189,9 @@ func (e Event) Validate() error {
 		if e.Type < 0 || e.Arg <= 0 || e.Val < 0 {
 			return fmt.Errorf("obs: xutil event needs type, positive capacity and non-negative val")
 		}
-	case KindRelease:
+	case KindRelease, KindCancel:
 		if e.Job < 0 {
-			return fmt.Errorf("obs: release event needs a job")
+			return fmt.Errorf("obs: %s event needs a job", e.Kind)
 		}
 	case KindScopeBegin, KindScopeEnd:
 		if e.Label == "" {

@@ -125,6 +125,33 @@ func validName(name string) bool {
 	return true
 }
 
+// LabelName derives a per-label metric name by appending a sanitized
+// label to a base name: "fhd_tenant_jobs_total" + "acme-prod" →
+// "fhd_tenant_jobs_total_acme_prod". Every byte outside the metric
+// grammar maps to '_' so externally supplied labels (tenant names)
+// can never produce an invalid — and therefore panicking — metric
+// name; an empty label maps to "_". The registry has no label
+// dimension by design (deterministic snapshots need a fixed, sortable
+// name set), so per-tenant series are distinct flat metrics.
+func LabelName(base, label string) string {
+	var b strings.Builder
+	b.Grow(len(base) + 1 + len(label))
+	b.WriteString(base)
+	b.WriteByte('_')
+	if label == "" {
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		ok := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
 // Counter returns the named counter, creating it on first use. An
 // invalid name or a name already registered as another metric type
 // panics: metric names are static program identifiers, so a collision

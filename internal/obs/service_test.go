@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCancelEvent pins the cancel kind's schema: constructor validity,
+// the wire name, round-tripping, and the job-required rule.
+func TestCancelEvent(t *testing.T) {
+	e := CancelEv(7, 3)
+	if err := e.Validate(); err != nil {
+		t.Fatalf("CancelEv invalid: %v", err)
+	}
+	line, err := EncodeJSONL(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":7,"kind":"cancel","job":3}`
+	if string(line) != want {
+		t.Errorf("encoded %s, want %s", line, want)
+	}
+	back, err := DecodeJSONL(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Errorf("round-trip %+v, want %+v", back, e)
+	}
+	bad := Event{Time: 1, Kind: KindCancel, Task: -1, Job: -1, Type: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("cancel without a job validated")
+	}
+	if _, ok := KindByName("cancel"); !ok {
+		t.Error("KindByName does not resolve cancel")
+	}
+}
+
+// TestCancelInChromeTrace checks the exporter renders cancels as
+// instant stream events rather than dropping or rejecting them.
+func TestCancelInChromeTrace(t *testing.T) {
+	events := []Event{
+		ReleaseEv(0, 0),
+		JobTaskEv(KindStart, 0, 0, 0, 0),
+		JobTaskEv(KindFinish, 2, 0, 0, 0),
+		CancelEv(2, 0),
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("cancel job 0")) {
+		t.Errorf("chrome trace lacks cancel event:\n%s", buf.Bytes())
+	}
+}
+
+// TestLabelName pins the per-label metric naming scheme used for
+// per-tenant series.
+func TestLabelName(t *testing.T) {
+	cases := []struct{ base, label, want string }{
+		{"fhd_tenant_jobs_total", "acme", "fhd_tenant_jobs_total_acme"},
+		{"fhd_tenant_jobs_total", "acme-prod", "fhd_tenant_jobs_total_acme_prod"},
+		{"fhd_tenant_jobs_total", "UPPER_ok9", "fhd_tenant_jobs_total_UPPER_ok9"},
+		{"fhd_tenant_jobs_total", "", "fhd_tenant_jobs_total__"},
+		{"fhd_tenant_jobs_total", "αβ", "fhd_tenant_jobs_total_____"},
+	}
+	for _, c := range cases {
+		if got := LabelName(c.base, c.label); got != c.want {
+			t.Errorf("LabelName(%q, %q) = %q, want %q", c.base, c.label, got, c.want)
+		}
+		if !validName(LabelName(c.base, c.label)) {
+			t.Errorf("LabelName(%q, %q) is not a valid metric name", c.base, c.label)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSubmitRequest holds the submit wire format together: any byte
+// string either fails DecodeSubmitRequest with a bad-request error or
+// yields a request that re-encodes and re-decodes to the same value,
+// and whose spec either materializes a valid graph or is itself a
+// bad-request error. This is the decoder the public API trusts with
+// arbitrary network input.
+func FuzzSubmitRequest(f *testing.F) {
+	f.Add([]byte(`{"id":"j0","tenant":"acme","spec":{"class":"ep","typing":"layered","k":2,"seed":7}}`))
+	f.Add([]byte(`{"id":"j1","tenant":"b","priority":3,"weight":2.5,"spec":{"class":"ir","k":4,"seed":-1,"scale":"small"}}`))
+	f.Add([]byte(`{"id":"j2","spec":{"class":"tree","k":1,"seed":0}}`))
+	f.Add([]byte(`{"id":"`))
+	f.Add([]byte(`{"id":"x","nope":1}`))
+	f.Add([]byte(`{"id":"x","tenant":"t","spec":{"class":"ep","k":2,"seed":1}}{"id":"y"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSubmitRequest(data)
+		if err != nil {
+			return
+		}
+		// Accepted requests satisfy the validator's invariants.
+		if req.ID == "" || req.Weight < 0 || req.Priority < 0 {
+			t.Fatalf("decoder accepted invalid request %+v", req)
+		}
+		// Round-trip: encode and decode land on the same value.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		back, err := DecodeSubmitRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request %s does not decode: %v", enc, err)
+		}
+		if back != req {
+			t.Fatalf("round-trip drift: %+v -> %+v", req, back)
+		}
+		enc2, err := json.Marshal(back)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("second encode differs: %s vs %s (err %v)", enc, enc2, err)
+		}
+		// Spec materialization either yields a valid graph or a typed
+		// bad-request error. Large K blows up generation size, so the
+		// graph check is bounded the way the service's own machines are.
+		if req.Spec.K > 0 && req.Spec.K <= 8 && req.Spec.Scale != "default" {
+			g, err := req.Spec.Graph()
+			if err == nil {
+				if vErr := g.Validate(); vErr != nil {
+					t.Fatalf("spec %+v produced an invalid graph: %v", req.Spec, vErr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fhs/internal/obs"
+	"fhs/internal/verify"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden arrival trace and obs streams under testdata/")
+
+// goldenGen is the pinned arrival-trace distribution: two tenants of
+// unequal weight, all three job classes, a cancel fraction, and enough
+// jobs to overlap on a small machine.
+func goldenGen() ([]Op, error) {
+	return GenerateTrace(GenConfig{
+		Jobs: 12,
+		Tenants: []TenantSpec{
+			{Name: "acme", Weight: 2},
+			{Name: "blob", Weight: 1},
+		},
+		MeanGap:    4,
+		CancelFrac: 0.25,
+		K:          3,
+		SeedBase:   100,
+	}, rand.New(rand.NewSource(41)))
+}
+
+const goldenProcsSpec = "2,2,3"
+
+func goldenProcs() []int { return []int{2, 2, 3} }
+
+// goldenStream replays the committed arrival trace under one scheduler
+// and returns the canonical obs JSONL stream, auditing it first.
+func goldenStream(t *testing.T, sched string, ops []Op) []byte {
+	t.Helper()
+	res, err := Replay(Config{Procs: goldenProcs(), Scheduler: sched}, ops)
+	if err != nil {
+		t.Fatalf("%s: replay: %v", sched, err)
+	}
+	if err := obs.ValidateTrace(res.Events); err != nil {
+		t.Fatalf("%s: invalid trace: %v", sched, err)
+	}
+	sa := verify.StreamAudit{Procs: goldenProcs(), FairShare: true}
+	for _, j := range res.Stream {
+		sa.Jobs = append(sa.Jobs, verify.StreamJob{
+			Job: j.Idx, Tenant: j.Tenant, Priority: j.Priority,
+			Weight: j.Weight, Graph: j.Graph,
+		})
+	}
+	if err := verify.AuditServiceStream(sa, res.Events); err != nil {
+		t.Fatalf("%s: stream audit: %v", sched, err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffLines reports the first divergence between two JSONL documents.
+func diffLines(got, want []byte) string {
+	g := bytes.Split(bytes.TrimRight(got, "\n"), []byte("\n"))
+	w := bytes.Split(bytes.TrimRight(want, "\n"), []byte("\n"))
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d lines, want %d", len(g), len(w))
+}
+
+// TestGoldenArrivals pins the generated two-tenant arrival trace to
+// testdata/arrivals.jsonl: generator drift shows up as a diff, and the
+// committed trace doubles as the replay input for the obs goldens.
+func TestGoldenArrivals(t *testing.T) {
+	ops, err := goldenGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "arrivals.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d ops)", path, len(ops))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to create)", path, err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("%s: generated arrival trace drifted; %s\n(re-bless with -update if intentional)",
+			path, diffLines(buf.Bytes(), want))
+	}
+	// The committed trace must itself parse back to the same ops.
+	back, err := ReadTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("%s: committed trace does not parse: %v", path, err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("%s: round-trip has %d ops, generated %d", path, len(back), len(ops))
+	}
+}
+
+// TestGoldenStreams locks the full service obs stream for MQB and
+// KGreedy on the committed two-tenant arrival trace. Any change to
+// pick order, fair-share accounting, event emission or the JSONL wire
+// format shows up as a diff; re-bless with -update after an
+// intentional change.
+func TestGoldenStreams(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "arrivals.jsonl"))
+	if err != nil {
+		if *updateGolden {
+			// First -update run: derive ops from the generator.
+			ops, genErr := goldenGen()
+			if genErr != nil {
+				t.Fatal(genErr)
+			}
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, ops); err != nil {
+				t.Fatal(err)
+			}
+			data = buf.Bytes()
+		} else {
+			t.Fatalf("testdata/arrivals.jsonl: %v (run with -update to create)", err)
+		}
+	}
+	ops, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []string{"MQB", "KGreedy"} {
+		path := filepath.Join("testdata", "fhd_"+map[string]string{"MQB": "mqb", "KGreedy": "kgreedy"}[sched]+".jsonl")
+		got := goldenStream(t, sched, ops)
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: stream drifted from golden file; %s\n(re-bless with -update if intentional)",
+				path, diffLines(got, want))
+			continue
+		}
+		// Golden files double as decoder fixtures: the committed bytes
+		// must decode and re-encode canonically.
+		events, err := obs.ReadJSONL(bytes.NewReader(want))
+		if err != nil {
+			t.Errorf("%s: committed golden does not decode: %v", path, err)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: golden file is not in canonical encoding", path)
+		}
+	}
+}
+
+// TestGoldenSchedulersDiffer guards the golden pair against collapsing
+// into one file: MQB and KGreedy must actually disagree on this trace,
+// otherwise the two goldens pin nothing scheduler-specific.
+func TestGoldenSchedulersDiffer(t *testing.T) {
+	ops, err := goldenGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(goldenStream(t, "MQB", ops), goldenStream(t, "KGreedy", ops)) {
+		t.Error("MQB and KGreedy produced identical streams on the golden trace")
+	}
+}

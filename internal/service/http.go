@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"fhs/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; arrival ops are small.
+const maxBodyBytes = 1 << 20
+
+// DecodeSubmitRequest parses a submit body strictly: unknown fields,
+// trailing garbage and shape violations are ErrBadRequest. Exported so
+// the fuzz target can hold the wire format and the validator together.
+func DecodeSubmitRequest(data []byte) (SubmitRequest, error) {
+	var req SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return SubmitRequest{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return SubmitRequest{}, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if err := req.validate(); err != nil {
+		return SubmitRequest{}, err
+	}
+	return req, nil
+}
+
+// advanceRequest is the body of POST /v1/advance: either a target
+// instant or a drain.
+type advanceRequest struct {
+	To    *int64 `json:"to,omitempty"`
+	Drain bool   `json:"drain,omitempty"`
+}
+
+// Handler serializes HTTP access to one Core. The core is
+// single-owner; the handler's mutex is the ownership boundary, so
+// concurrent submitters observe a deterministic core state for any
+// fixed request order.
+type Handler struct {
+	mu   sync.Mutex
+	core *Core
+	mux  *http.ServeMux
+}
+
+// NewHandler wraps a core in the JSON-over-HTTP API.
+func NewHandler(core *Core) *Handler {
+	h := &Handler{core: core, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/jobs", h.submit)
+	h.mux.HandleFunc("GET /v1/jobs", h.list)
+	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	h.mux.HandleFunc("POST /v1/advance", h.advance)
+	h.mux.HandleFunc("GET /v1/summary", h.summary)
+	h.mux.HandleFunc("GET /v1/obs", h.obs)
+	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// errorStatus maps core sentinel errors onto HTTP statuses.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTimeTravel):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateJob), errors.Is(err, ErrJobDone), errors.Is(err, ErrJobCancelled):
+		return http.StatusConflict
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
+}
+
+func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	req, err := DecodeSubmitRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	h.mu.Lock()
+	st, err := h.core.Submit(req)
+	h.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	recs := h.core.Records()
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	st, err := h.core.Status(r.PathValue("id"))
+	h.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) cancel(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	st, err := h.core.Cancel(r.PathValue("id"))
+	h.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) advance(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req advanceRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	if (req.To == nil) == !req.Drain {
+		writeError(w, fmt.Errorf("%w: want exactly one of to or drain", ErrBadRequest))
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if req.Drain {
+		now := h.core.Drain()
+		writeJSON(w, http.StatusOK, map[string]int64{"now": now})
+		return
+	}
+	if err := h.core.AdvanceTo(*req.To); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"now": h.core.Now()})
+}
+
+func (h *Handler) summary(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	s := h.core.Summary()
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, s)
+}
+
+// obs dumps the canonical JSONL event stream — the exact bytes the
+// replay fingerprint hashes, so `fhsched -checktrace` validates a live
+// server's stream.
+func (h *Handler) obs(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	events := append([]obs.Event(nil), h.core.cfg.Obs.Events()...)
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := obs.WriteJSONL(w, events); err != nil {
+		// Headers are gone; the truncated body is the best signal left.
+		return
+	}
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	snaps := h.core.cfg.Metrics.Snapshot()
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = obs.WritePrometheus(w, snaps)
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fhs/internal/obs"
+	"fhs/internal/verify"
+)
+
+// newTestServer starts an httptest server over a fresh traced core.
+func newTestServer(t *testing.T, mod func(*Config)) (*httptest.Server, *Core) {
+	t.Helper()
+	c := newTestCore(t, mod)
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil), returning the status code.
+func do(t *testing.T, method, url string, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad response %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submitBody(id, tenant string, seed int64) string {
+	return fmt.Sprintf(`{"id":%q,"tenant":%q,"spec":{"class":"ep","typing":"layered","k":2,"seed":%d}}`, id, tenant, seed)
+}
+
+// TestHTTPRoundTrip drives the full job lifecycle over the wire:
+// submit, status, list, advance, drain, summary, obs and metrics.
+func TestHTTPRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+
+	var st JobStatus
+	if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), &st); code != http.StatusCreated {
+		t.Fatalf("submit: status %d", code)
+	}
+	if st.ID != "j0" || st.Tenant != "acme" || st.State != StateRunning || st.Completed != -1 {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	if code := do(t, "GET", srv.URL+"/v1/jobs/j0", "", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	var list []JobStatus
+	if code := do(t, "GET", srv.URL+"/v1/jobs", "", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list: code %d, %d jobs", code, len(list))
+	}
+
+	var adv map[string]int64
+	if code := do(t, "POST", srv.URL+"/v1/advance", `{"to":5}`, &adv); code != http.StatusOK || adv["now"] != 5 {
+		t.Fatalf("advance: code %d, now %d", code, adv["now"])
+	}
+	if code := do(t, "POST", srv.URL+"/v1/advance", `{"drain":true}`, &adv); code != http.StatusOK {
+		t.Fatalf("drain: code %d", code)
+	}
+	if code := do(t, "GET", srv.URL+"/v1/jobs/j0", "", &st); code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("after drain: code %d state %q", code, st.State)
+	}
+
+	var sum Summary
+	if code := do(t, "GET", srv.URL+"/v1/summary", "", &sum); code != http.StatusOK || sum.Done != 1 {
+		t.Fatalf("summary: code %d, %+v", code, sum)
+	}
+	if len(sum.Tenants) != 1 || sum.Tenants[0].WeightedCompletion <= 0 {
+		t.Fatalf("summary tenants: %+v", sum.Tenants)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("obs endpoint stream does not decode: %v", err)
+	}
+	if err := obs.ValidateTrace(events); err != nil {
+		t.Fatalf("obs endpoint stream invalid: %v", err)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"fhd_jobs_admitted_total 1", "fhd_tenant_jobs_total_acme 1"} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("metrics output lacks %q:\n%s", want, prom)
+		}
+	}
+
+	if code := do(t, "GET", srv.URL+"/healthz", "", nil); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+}
+
+// TestHTTPErrors pins the error-to-status mapping.
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t, func(c *Config) { c.DefaultQuota = 1 })
+	if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), nil); code != http.StatusCreated {
+		t.Fatalf("seed submit: %d", code)
+	}
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"malformed json", "POST", "/v1/jobs", `{"id":`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/jobs", `{"id":"x","tenant":"t","nope":1}`, http.StatusBadRequest},
+		{"empty id", "POST", "/v1/jobs", submitBody("", "acme", 1), http.StatusBadRequest},
+		{"trailing garbage", "POST", "/v1/jobs", submitBody("x", "acme", 1) + `{"again":true}`, http.StatusBadRequest},
+		{"duplicate id", "POST", "/v1/jobs", submitBody("j0", "acme", 1), http.StatusConflict},
+		{"quota", "POST", "/v1/jobs", submitBody("j1", "acme", 2), http.StatusTooManyRequests},
+		{"unknown job status", "GET", "/v1/jobs/ghost", "", http.StatusNotFound},
+		{"unknown job cancel", "DELETE", "/v1/jobs/ghost", "", http.StatusNotFound},
+		{"advance both", "POST", "/v1/advance", `{"to":3,"drain":true}`, http.StatusBadRequest},
+		{"advance neither", "POST", "/v1/advance", `{}`, http.StatusBadRequest},
+		{"method not allowed", "PUT", "/v1/jobs", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := do(t, tc.method, srv.URL+tc.path, tc.body, nil); code != tc.want {
+				t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, code, tc.want)
+			}
+		})
+	}
+
+	// Cancel lifecycle over the wire: cancel once, then conflict; done
+	// jobs conflict too.
+	if code := do(t, "DELETE", srv.URL+"/v1/jobs/j0", "", nil); code != http.StatusOK {
+		t.Fatalf("cancel: %d", code)
+	}
+	if code := do(t, "DELETE", srv.URL+"/v1/jobs/j0", "", nil); code != http.StatusConflict {
+		t.Errorf("double cancel: %d, want 409", code)
+	}
+	if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j2", "acme", 3), nil); code != http.StatusCreated {
+		t.Fatalf("post-cancel submit: %d", code)
+	}
+	if code := do(t, "POST", srv.URL+"/v1/advance", `{"drain":true}`, nil); code != http.StatusOK {
+		t.Fatal("drain failed")
+	}
+	if code := do(t, "DELETE", srv.URL+"/v1/jobs/j2", "", nil); code != http.StatusConflict {
+		t.Errorf("cancel after done: %d, want 409", code)
+	}
+	if code := do(t, "POST", srv.URL+"/v1/advance", `{"to":1}`, nil); code != http.StatusBadRequest {
+		t.Errorf("time travel: %d, want 400", code)
+	}
+}
+
+// TestHTTPConcurrentSubmitters hammers the handler from many
+// goroutines (meaningful under -race): every submit must land, the
+// core must stay consistent, and the resulting stream must satisfy the
+// independent auditor regardless of arrival interleaving.
+func TestHTTPConcurrentSubmitters(t *testing.T) {
+	srv, c := newTestServer(t, nil)
+	const workers, jobsPer = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*jobsPer)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < jobsPer; i++ {
+				id := fmt.Sprintf("w%d-j%d", w, i)
+				tenant := fmt.Sprintf("t%d", w%3)
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+					strings.NewReader(submitBody(id, tenant, int64(w*100+i))))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Errorf("submit %s: status %d", id, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if code := do(t, "POST", srv.URL+"/v1/advance", `{"drain":true}`, nil); code != http.StatusOK {
+		t.Fatalf("drain: %d", code)
+	}
+	var list []JobStatus
+	if code := do(t, "GET", srv.URL+"/v1/jobs", "", &list); code != http.StatusOK || len(list) != workers*jobsPer {
+		t.Fatalf("list: code %d, %d jobs, want %d", code, len(list), workers*jobsPer)
+	}
+	for _, st := range list {
+		if st.State != StateDone {
+			t.Errorf("job %s in state %q after drain", st.ID, st.State)
+		}
+	}
+	// The admission order depends on the interleaving, but whatever
+	// order won must produce an auditable stream.
+	sa := verify.StreamAudit{Procs: c.cfg.Procs, FairShare: true}
+	for _, j := range c.StreamJobs() {
+		sa.Jobs = append(sa.Jobs, verify.StreamJob{
+			Job: j.Idx, Tenant: j.Tenant, Priority: j.Priority,
+			Weight: j.Weight, Graph: j.Graph,
+		})
+	}
+	if err := verify.AuditServiceStream(sa, c.cfg.Obs.Events()); err != nil {
+		t.Errorf("stream audit after concurrent submits: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fhs/internal/dag"
+	"fhs/internal/metrics"
+)
+
+// Cand is one ready task offered to a picker, after the admission
+// stages (priority class, fair share) have filtered the queue. Cands
+// arrive in queue (readiness) order; JobIdx is the owning job's
+// admission index. Desc is the task's typed descendant row, shared
+// with the job's graph — read-only.
+type Cand struct {
+	JobIdx int64
+	Task   dag.TaskID
+	Work   int64
+	Desc   []float64
+}
+
+// View is the machine state a picker may consult: live queued work per
+// pool and the (fixed) pool sizes. Slices are views — read-only.
+type View struct {
+	QueueWork []int64
+	Procs     []int
+}
+
+// Picker chooses which candidate a freed α-processor runs. Pick
+// returns an index into cands plus the pick's score for the decision
+// trace (0 when the policy has no meaningful score). cands is never
+// empty. Pick must be deterministic: same view and candidates, same
+// index.
+type Picker interface {
+	Name() string
+	Pick(v *View, alpha dag.Type, cands []Cand) (int, float64)
+}
+
+// NewPicker resolves a registered scheduler name (case-insensitive).
+// The empty name selects MQB, the paper's utilization-balancing rule.
+func NewPicker(name string, workers int) (Picker, error) {
+	switch strings.ToLower(name) {
+	case "", "mqb":
+		return &MQB{workers: workers}, nil
+	case "kgreedy":
+		return KGreedy{}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown scheduler %q (want MQB or KGreedy)", name)
+	}
+}
+
+// KGreedy is the online FIFO baseline: run the oldest ready candidate.
+type KGreedy struct{}
+
+// Name implements Picker.
+func (KGreedy) Name() string { return "KGreedy" }
+
+// Pick implements Picker.
+func (KGreedy) Pick(*View, dag.Type, []Cand) (int, float64) { return 0, 0 }
+
+// MQB lifts the paper's utilization balancing online: each candidate
+// carries its own job's typed descendant values, and the pool runs the
+// candidate whose descendant contribution, added to the live queues,
+// best balances the sorted x-utilizations (the max-min comparison of
+// internal/multi's BalancedMQB — keep the lexicographically greatest
+// ascending profile; ties keep the oldest candidate).
+//
+// With workers > 1 candidate scoring is chunked across goroutines and
+// the chunk winners merged in chunk order. Replacement happens only on
+// a strictly greater profile, so the merged winner is the same
+// candidate the sequential scan selects — worker count never changes
+// an outcome, only the latency of large picks.
+type MQB struct {
+	workers int
+	cand    []float64
+	best    []float64
+}
+
+// parallelThreshold is the candidate count below which chunking costs
+// more than it saves.
+const parallelThreshold = 64
+
+// Name implements Picker.
+func (*MQB) Name() string { return "MQB" }
+
+// Pick implements Picker.
+func (m *MQB) Pick(v *View, alpha dag.Type, cands []Cand) (int, float64) {
+	if len(cands) == 1 {
+		return 0, 0
+	}
+	k := len(v.Procs)
+	if cap(m.cand) < k {
+		m.cand = make([]float64, k)
+		m.best = make([]float64, k)
+	}
+	m.cand, m.best = m.cand[:k], m.best[:k]
+	if m.workers > 1 && len(cands) >= parallelThreshold {
+		return m.pickParallel(v, alpha, cands)
+	}
+	best := -1
+	for i := range cands {
+		scoreInto(m.cand, v, alpha, &cands[i])
+		if best < 0 || metrics.LexLess(m.best, m.cand) {
+			best = i
+			m.best, m.cand = m.cand, m.best
+		}
+	}
+	return best, m.best[0]
+}
+
+// scoreInto fills profile with the sorted x-utilizations the machine
+// would queue if this candidate ran on alpha now.
+func scoreInto(profile []float64, v *View, alpha dag.Type, c *Cand) {
+	for a := range profile {
+		work := float64(v.QueueWork[a]) + c.Desc[a]
+		if dag.Type(a) == alpha {
+			work -= float64(c.Work)
+		}
+		profile[a] = work / float64(v.Procs[a])
+	}
+	sort.Float64s(profile)
+}
+
+// pickParallel chunks the candidate scan across m.workers goroutines.
+// Each chunk finds its local winner with the sequential rule; winners
+// merge in chunk order with replacement only on a strictly greater
+// profile, which reproduces the sequential scan's choice exactly.
+func (m *MQB) pickParallel(v *View, alpha dag.Type, cands []Cand) (int, float64) {
+	k := len(v.Procs)
+	workers := m.workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	type winner struct {
+		idx     int
+		profile []float64
+	}
+	wins := make([]winner, workers)
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			wins[w].idx = -1
+			continue
+		}
+		wg.Add(1)
+		go func(slot, from, to int) {
+			defer wg.Done()
+			cur := make([]float64, k)
+			best := make([]float64, k)
+			bi := -1
+			for i := from; i < to; i++ {
+				scoreInto(cur, v, alpha, &cands[i])
+				if bi < 0 || metrics.LexLess(best, cur) {
+					bi = i
+					best, cur = cur, best
+				}
+			}
+			wins[slot] = winner{idx: bi, profile: best}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := winner{idx: -1}
+	for _, win := range wins {
+		if win.idx < 0 {
+			continue
+		}
+		if merged.idx < 0 || metrics.LexLess(merged.profile, win.profile) {
+			merged = win
+		}
+	}
+	copy(m.best, merged.profile)
+	return merged.idx, merged.profile[0]
+}

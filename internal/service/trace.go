@@ -1,0 +1,302 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fhs/internal/obs"
+)
+
+// Op is one line of an arrival trace: a submit or cancel at instant T.
+// An arrival trace is the service's write-ahead log — replaying a
+// recorded trace into a fresh core reproduces the exact machine state,
+// which is both the restart-recovery story and the determinism test.
+type Op struct {
+	T  int64  `json:"t"`
+	Op string `json:"op"` // "submit" or "cancel"
+	ID string `json:"id"`
+
+	// Submit-only fields.
+	Tenant   string  `json:"tenant,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
+	Spec     JobSpec `json:"spec,omitempty"`
+}
+
+// Validate checks one op's shape.
+func (o *Op) Validate() error {
+	if o.T < 0 {
+		return fmt.Errorf("service: op at negative time %d", o.T)
+	}
+	if o.ID == "" {
+		return fmt.Errorf("service: op without a job id")
+	}
+	switch o.Op {
+	case "submit", "cancel":
+		return nil
+	default:
+		return fmt.Errorf("service: unknown op %q (want submit or cancel)", o.Op)
+	}
+}
+
+// SubmitRequest converts a submit op to the core's request form.
+func (o *Op) SubmitRequest() SubmitRequest {
+	return SubmitRequest{
+		ID:       o.ID,
+		Tenant:   o.Tenant,
+		Priority: o.Priority,
+		Weight:   o.Weight,
+		Spec:     o.Spec,
+	}
+}
+
+// WriteTrace writes ops as JSONL, one op per line.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range ops {
+		if err := ops[i].Validate(); err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+		if err := enc.Encode(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL arrival trace, rejecting unknown fields and
+// time-unsorted ops.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(text))
+		dec.DisallowUnknownFields()
+		var op Op
+		if err := dec.Decode(&op); err != nil {
+			return nil, fmt.Errorf("service: trace line %d: %w", line, err)
+		}
+		if err := op.Validate(); err != nil {
+			return nil, fmt.Errorf("service: trace line %d: %w", line, err)
+		}
+		if n := len(ops); n > 0 && op.T < ops[n-1].T {
+			return nil, fmt.Errorf("service: trace line %d: time runs backwards (%d after %d)", line, op.T, ops[n-1].T)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// TenantSpec names one tenant of a generated trace and its jobs'
+// weight.
+type TenantSpec struct {
+	Name   string
+	Weight float64
+}
+
+// GenConfig parameterizes GenerateTrace.
+type GenConfig struct {
+	// Jobs is the number of submits.
+	Jobs int
+	// Tenants cycle by random draw; empty defaults to one tenant "a"
+	// of weight 1.
+	Tenants []TenantSpec
+	// MeanGap is the mean inter-arrival gap (gaps draw uniformly from
+	// [0, 2·MeanGap]).
+	MeanGap int64
+	// CancelFrac is the fraction of jobs that receive a later cancel.
+	CancelFrac float64
+	// Classes are the workload classes to rotate through; empty
+	// defaults to ep, tree, ir.
+	Classes []string
+	// K is the job/machine type count.
+	K int
+	// Scale is the JobSpec scale ("" = small).
+	Scale string
+	// SeedBase offsets per-job spec seeds (job i draws seed
+	// SeedBase + i).
+	SeedBase int64
+	// PriorityLevels > 1 assigns uniform priorities in
+	// [0, PriorityLevels).
+	PriorityLevels int
+}
+
+// GenerateTrace draws a deterministic arrival trace from rng: Jobs
+// submits with uniform gaps, tenants and classes drawn per job, and a
+// CancelFrac fraction of jobs cancelled at a later instant.
+func GenerateTrace(gc GenConfig, rng *rand.Rand) ([]Op, error) {
+	if gc.Jobs <= 0 {
+		return nil, fmt.Errorf("service: generate %d jobs, want > 0", gc.Jobs)
+	}
+	if gc.K <= 0 {
+		return nil, fmt.Errorf("service: generate with K=%d, want > 0", gc.K)
+	}
+	if gc.CancelFrac < 0 || gc.CancelFrac > 1 {
+		return nil, fmt.Errorf("service: cancel fraction %g outside [0,1]", gc.CancelFrac)
+	}
+	tenants := gc.Tenants
+	if len(tenants) == 0 {
+		tenants = []TenantSpec{{Name: "a", Weight: 1}}
+	}
+	classes := gc.Classes
+	if len(classes) == 0 {
+		classes = []string{"ep", "tree", "ir"}
+	}
+	gap := gc.MeanGap
+	if gap <= 0 {
+		gap = 4
+	}
+	var ops []Op
+	t := int64(0)
+	for i := 0; i < gc.Jobs; i++ {
+		t += rng.Int63n(2*gap + 1)
+		ten := tenants[rng.Intn(len(tenants))]
+		prio := 0
+		if gc.PriorityLevels > 1 {
+			prio = rng.Intn(gc.PriorityLevels)
+		}
+		id := fmt.Sprintf("%s-%d", ten.Name, i)
+		ops = append(ops, Op{
+			T: t, Op: "submit", ID: id,
+			Tenant: ten.Name, Priority: prio, Weight: ten.Weight,
+			Spec: JobSpec{
+				Class:  classes[i%len(classes)],
+				K:      gc.K,
+				Seed:   gc.SeedBase + int64(i),
+				Scale:  gc.Scale,
+				Typing: "layered",
+			},
+		})
+		if rng.Float64() < gc.CancelFrac {
+			ops = append(ops, Op{
+				T:  t + 1 + rng.Int63n(4*gap+1),
+				Op: "cancel", ID: id,
+			})
+		}
+	}
+	// Cancels land at later instants; restore global time order. The
+	// stable sort keeps every cancel after its own submit.
+	sortOpsStable(ops)
+	return ops, nil
+}
+
+// sortOpsStable is insertion sort by T — stable, dependency-free, and
+// traces are small.
+func sortOpsStable(ops []Op) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].T < ops[j-1].T; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}
+
+// ReplayResult is the outcome of replaying an arrival trace.
+type ReplayResult struct {
+	// Fingerprint hashes the canonical obs JSONL stream and the
+	// metrics registry fingerprint — the bit-identical-replay
+	// certificate.
+	Fingerprint string
+	Makespan    int64
+	Summary     Summary
+	Events      []obs.Event
+	// Stream declares the admitted jobs in admission order, ready for
+	// verify.AuditServiceStream.
+	Stream []StreamJobInfo
+
+	Submitted, Rejected     int
+	Cancelled, CancelMisses int
+}
+
+// Fingerprint hashes a trace and a registry into the canonical replay
+// certificate: sha256 over the canonical JSONL encoding of the event
+// stream followed by the registry fingerprint.
+func Fingerprint(events []obs.Event, reg *obs.Registry) (string, error) {
+	h := sha256.New()
+	if err := obs.WriteJSONL(h, events); err != nil {
+		return "", err
+	}
+	if _, err := io.WriteString(h, reg.Fingerprint()); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Replay runs an arrival trace through a fresh core built from cfg and
+// drains it. A nil cfg.Obs / cfg.Metrics is replaced with a fresh
+// tracer / registry so the fingerprint always covers both channels.
+// Quota rejections and cancels of already-finished jobs are expected
+// stream outcomes, not errors.
+func Replay(cfg Config, ops []Op) (*ReplayResult, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewTracer()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplayResult{}
+	for i := range ops {
+		op := &ops[i]
+		if err := op.Validate(); err != nil {
+			return nil, fmt.Errorf("service: op %d: %w", i, err)
+		}
+		if err := c.AdvanceTo(op.T); err != nil {
+			return nil, fmt.Errorf("service: op %d: %w", i, err)
+		}
+		switch op.Op {
+		case "submit":
+			_, err := c.Submit(op.SubmitRequest())
+			switch {
+			case err == nil:
+				res.Submitted++
+			case errors.Is(err, ErrQuotaExceeded):
+				res.Rejected++
+			default:
+				return nil, fmt.Errorf("service: op %d: %w", i, err)
+			}
+		case "cancel":
+			_, err := c.Cancel(op.ID)
+			switch {
+			case err == nil:
+				res.Cancelled++
+			case errors.Is(err, ErrJobDone), errors.Is(err, ErrJobCancelled), errors.Is(err, ErrUnknownJob):
+				// Traced cancels can land after completion, after an
+				// earlier cancel, or target a quota-rejected submit.
+				res.CancelMisses++
+			default:
+				return nil, fmt.Errorf("service: op %d: %w", i, err)
+			}
+		}
+	}
+	res.Makespan = c.Drain()
+	res.Summary = c.Summary()
+	res.Events = c.cfg.Obs.Events()
+	res.Stream = c.StreamJobs()
+	fp, err := Fingerprint(res.Events, c.cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	res.Fingerprint = fp
+	return res, nil
+}

@@ -58,96 +58,23 @@ func timeline(cfg *Config) *fault.Timeline {
 	return cfg.Faults.Timeline
 }
 
-// runningTask is a heap entry for the non-preemptive engine.
+// runningTask is a heap entry for the non-preemptive engine: a
+// min-heap on finish time, breaking ties on task ID for determinism
+// (see Heap in runheap.go — the generic extraction of the concrete
+// heap this engine originally carried).
 type runningTask struct {
 	finish int64
 	start  int64
 	id     dag.TaskID
 }
 
-// runningHeap is a min-heap on finish time, breaking ties on task ID
-// for determinism. The push/pop/remove methods replicate
-// container/heap's sift algorithms on the concrete element type:
-// going through heap.Interface boxes every entry into an interface
-// value, which was one heap allocation per task start — the dominant
-// allocation churn of the non-preemptive engine's event handling.
-type runningHeap []runningTask
-
-func (h runningHeap) less(i, j int) bool {
-	if h[i].finish != h[j].finish {
-		return h[i].finish < h[j].finish
+// Less orders the run heap: earliest finish first, ties to the lowest
+// task ID.
+func (rt runningTask) Less(o runningTask) bool {
+	if rt.finish != o.finish {
+		return rt.finish < o.finish
 	}
-	return h[i].id < h[j].id
-}
-
-func (h *runningHeap) push(rt runningTask) {
-	*h = append(*h, rt)
-	h.up(len(*h) - 1)
-}
-
-func (h *runningHeap) pop() runningTask {
-	old := *h
-	n := len(old) - 1
-	rt := old[0]
-	old[0], old[n] = old[n], old[0]
-	*h = old[:n]
-	if n > 0 {
-		(*h).down(0)
-	}
-	return rt
-}
-
-// remove deletes and returns the element at index i, restoring the
-// heap invariant (container/heap.Remove's swap-then-fix algorithm, so
-// the internal ordering stays bit-identical to the previous
-// implementation).
-func (h *runningHeap) remove(i int) runningTask {
-	old := *h
-	n := len(old) - 1
-	rt := old[i]
-	if i != n {
-		old[i], old[n] = old[n], old[i]
-		*h = old[:n]
-		if !(*h).down(i) {
-			(*h).up(i)
-		}
-	} else {
-		*h = old[:n]
-	}
-	return rt
-}
-
-func (h runningHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-// down sifts index i toward the leaves, reporting whether it moved.
-func (h runningHeap) down(i int) bool {
-	i0 := i
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		min := l
-		if r := l + 1; r < n && h.less(r, l) {
-			min = r
-		}
-		if !h.less(min, i) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-	return i > i0
+	return rt.id < o.id
 }
 
 func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
@@ -161,7 +88,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 	// side, as the fault-free engine did) survives capacity changes
 	// under a running load.
 	runBusy := make([]int, g.K())
-	var running runningHeap
+	var running Heap[runningTask]
 
 	n := g.NumTasks()
 	for st.nCompleted < n {
@@ -182,7 +109,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 				runBusy[a]++
 				res.Decisions++
 				mets.started.Inc()
-				running.push(runningTask{finish: st.now + st.remaining[id], start: st.now, id: id})
+				running.Push(runningTask{finish: st.now + st.remaining[id], start: st.now, id: id})
 				if cfg.CollectTrace {
 					res.Trace = append(res.Trace, Event{Time: st.now, Task: id, Type: alpha, Kind: EventStart})
 				}
@@ -227,7 +154,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 		// ready queue with full work.
 		requeued := false
 		for len(running) > 0 && running[0].finish == t {
-			rt := running.pop()
+			rt := running.Pop()
 			alpha := g.Task(rt.id).Type
 			work := st.remaining[rt.id]
 			res.BusyTime[alpha] += work
@@ -284,7 +211,7 @@ func runNonPreemptive(g *dag.Graph, s Scheduler, cfg *Config) (Result, error) {
 							victim = i
 						}
 					}
-					rt := running.remove(victim)
+					rt := running.Remove(victim)
 					elapsed := t - rt.start
 					res.BusyTime[alpha] += elapsed
 					res.WastedWork[alpha] += elapsed

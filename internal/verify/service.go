@@ -1,0 +1,315 @@
+package verify
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+)
+
+// StreamJob declares one admitted job of an online service stream:
+// its admission index (the Job field of the stream's trace events),
+// owning tenant, priority, fair-share weight and K-DAG.
+type StreamJob struct {
+	Job      int64
+	Tenant   string
+	Priority int
+	Weight   float64
+	Graph    *dag.Graph
+}
+
+// StreamAudit declares the contract an online multi-job obs stream is
+// audited against: the machine, the admitted jobs, the per-tenant
+// admission quotas and whether the deterministic fair-share stage was
+// active. It is the service analogue of Options — the auditor rebuilds
+// the whole machine state from the event stream with its own
+// bookkeeping and accepts nothing the stream cannot prove.
+type StreamAudit struct {
+	// Procs is the machine, Procs[α] > 0 processors per pool.
+	Procs []int
+	// Jobs are the admitted jobs in admission order (Job fields
+	// 0..n-1). Rejected submits emit no release and are not listed.
+	Jobs []StreamJob
+	// DefaultQuota and Quotas mirror the service config; quota <= 0
+	// means unlimited.
+	DefaultQuota int
+	Quotas       map[string]int
+	// FairShare enables the virtual-service fairness invariant: every
+	// start's tenant must minimize (service, name) among tenants with
+	// ready max-priority candidates on the pool.
+	FairShare bool
+}
+
+func (a *StreamAudit) quota(tenant string) int {
+	if q, ok := a.Quotas[tenant]; ok {
+		return q
+	}
+	return a.DefaultQuota
+}
+
+// streamTask is the auditor's per-task state.
+type streamTask uint8
+
+const (
+	taskBlocked streamTask = iota // has unfinished parents
+	taskReady                     // all parents finished, not started
+	taskRunning
+	taskFinished
+	taskRetracted // ready at cancel time; left the queues
+)
+
+// AuditServiceStream replays an online service's obs event stream
+// through independent bookkeeping and checks, in stream order:
+//
+//   - times never run backwards;
+//   - each declared job is released exactly once, in admission order,
+//     and every lifecycle event references a released job;
+//   - capacity: a pool never runs more tasks than it has processors,
+//     and every task runs on its own type's pool;
+//   - precedence and conservation: a task starts only with all parents
+//     finished, starts at most once, and finishes exactly at
+//     start + work (the machines are non-preemptive);
+//   - cancellation: a cancelled job starts nothing afterwards, though
+//     tasks already on processors run to completion;
+//   - admission quotas: a tenant's live jobs (released, not done, not
+//     cancelled) never exceed its quota;
+//   - fairness (when enabled): every start goes to the max-priority
+//     class, and within it to the tenant minimizing (virtual service,
+//     name) among tenants with ready candidates on that pool;
+//   - completeness: at end of stream every uncancelled job is fully
+//     finished and no task is still running.
+func AuditServiceStream(a StreamAudit, events []obs.Event) error {
+	if len(a.Procs) == 0 {
+		return fmt.Errorf("verify: stream audit with an empty machine")
+	}
+	for alpha, n := range a.Procs {
+		if n <= 0 {
+			return fmt.Errorf("verify: stream audit pool %d has %d processors", alpha, n)
+		}
+	}
+	k := len(a.Procs)
+	jobs := make(map[int64]*StreamJob, len(a.Jobs))
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		if j.Job != int64(i) {
+			return fmt.Errorf("verify: stream job %d declared with admission index %d", i, j.Job)
+		}
+		if j.Graph == nil {
+			return fmt.Errorf("verify: stream job %d has no graph", i)
+		}
+		if j.Graph.K() > k {
+			return fmt.Errorf("verify: stream job %d has K=%d on a K=%d machine", i, j.Graph.K(), k)
+		}
+		if j.Weight <= 0 {
+			return fmt.Errorf("verify: stream job %d has weight %g, want > 0", i, j.Weight)
+		}
+		jobs[j.Job] = j
+	}
+
+	state := make(map[int64][]streamTask, len(a.Jobs))   // per job, per task
+	pendingParents := make(map[int64][]int, len(a.Jobs)) // per job, per task
+	startAt := make(map[int64][]int64, len(a.Jobs))      // per job, per task
+	finished := make(map[int64]int, len(a.Jobs))         // per job: finished tasks
+	released := make(map[int64]bool, len(a.Jobs))
+	cancelled := make(map[int64]bool, len(a.Jobs))
+	running := make([]int, k)        // per pool
+	liveJobs := make(map[string]int) // per tenant
+	service := make(map[string]float64)
+	nextRelease := int64(0)
+	var now int64
+
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("verify: stream event %d: %w", i, err)
+		}
+		if e.Time < now {
+			return fmt.Errorf("verify: stream event %d (%s) at t=%d after t=%d", i, e.Kind, e.Time, now)
+		}
+		now = e.Time
+		switch e.Kind {
+		case obs.KindRelease:
+			if e.Job != nextRelease {
+				return fmt.Errorf("verify: event %d releases job %d, expected admission index %d", i, e.Job, nextRelease)
+			}
+			j, ok := jobs[e.Job]
+			if !ok {
+				return fmt.Errorf("verify: event %d releases undeclared job %d", i, e.Job)
+			}
+			nextRelease++
+			released[e.Job] = true
+			liveJobs[j.Tenant]++
+			if q := a.quota(j.Tenant); q > 0 && liveJobs[j.Tenant] > q {
+				return fmt.Errorf("verify: t=%d tenant %q holds %d live jobs over quota %d", now, j.Tenant, liveJobs[j.Tenant], q)
+			}
+			n := j.Graph.NumTasks()
+			st := make([]streamTask, n)
+			pp := make([]int, n)
+			for task := 0; task < n; task++ {
+				pp[task] = j.Graph.NumParents(dag.TaskID(task))
+				if pp[task] == 0 {
+					st[task] = taskReady
+				}
+			}
+			state[e.Job] = st
+			pendingParents[e.Job] = pp
+			startAt[e.Job] = make([]int64, n)
+
+		case obs.KindCancel:
+			j, ok := jobs[e.Job]
+			if !ok || !released[e.Job] {
+				return fmt.Errorf("verify: event %d cancels unreleased job %d", i, e.Job)
+			}
+			if cancelled[e.Job] {
+				return fmt.Errorf("verify: event %d cancels job %d twice", i, e.Job)
+			}
+			if finished[e.Job] == j.Graph.NumTasks() {
+				return fmt.Errorf("verify: event %d cancels job %d after completion", i, e.Job)
+			}
+			cancelled[e.Job] = true
+			liveJobs[j.Tenant]--
+			// Ready tasks leave the queues; running tasks keep going.
+			st := state[e.Job]
+			for task := range st {
+				if st[task] == taskReady {
+					st[task] = taskRetracted
+				}
+			}
+
+		case obs.KindStart:
+			j, ok := jobs[e.Job]
+			if !ok || !released[e.Job] {
+				return fmt.Errorf("verify: event %d starts a task of unreleased job %d", i, e.Job)
+			}
+			if cancelled[e.Job] {
+				return fmt.Errorf("verify: t=%d job %d starts task %d after its cancellation", now, e.Job, e.Task)
+			}
+			if e.Task >= int64(j.Graph.NumTasks()) {
+				return fmt.Errorf("verify: job %d has no task %d", e.Job, e.Task)
+			}
+			task := dag.TaskID(e.Task)
+			if got := int64(j.Graph.Task(task).Type); got != e.Type {
+				return fmt.Errorf("verify: t=%d job %d task %d runs on pool %d, its type is %d", now, e.Job, e.Task, e.Type, got)
+			}
+			st := state[e.Job]
+			switch st[task] {
+			case taskBlocked:
+				return fmt.Errorf("verify: t=%d job %d task %d starts with %d unfinished parents", now, e.Job, e.Task, pendingParents[e.Job][task])
+			case taskRunning, taskFinished:
+				return fmt.Errorf("verify: t=%d job %d task %d starts twice", now, e.Job, e.Task)
+			case taskRetracted:
+				return fmt.Errorf("verify: t=%d job %d task %d starts after leaving the queues", now, e.Job, e.Task)
+			}
+			if running[e.Type]++; running[e.Type] > a.Procs[e.Type] {
+				return fmt.Errorf("verify: t=%d pool %d runs %d tasks on %d processors", now, e.Type, running[e.Type], a.Procs[e.Type])
+			}
+			if err := auditStreamPick(a, state, released, cancelled, service, j, task, e.Type); err != nil {
+				return fmt.Errorf("verify: t=%d: %w", now, err)
+			}
+			st[task] = taskRunning
+			startAt[e.Job][task] = now
+			service[j.Tenant] += float64(j.Graph.Task(task).Work) / j.Weight
+
+		case obs.KindFinish:
+			j, ok := jobs[e.Job]
+			if !ok || !released[e.Job] {
+				return fmt.Errorf("verify: event %d finishes a task of unreleased job %d", i, e.Job)
+			}
+			task := dag.TaskID(e.Task)
+			if e.Task >= int64(j.Graph.NumTasks()) || state[e.Job][task] != taskRunning {
+				return fmt.Errorf("verify: t=%d job %d task %d finishes without running", now, e.Job, e.Task)
+			}
+			if want := startAt[e.Job][task] + j.Graph.Task(task).Work; now != want {
+				return fmt.Errorf("verify: t=%d job %d task %d finishes with work %d after starting at t=%d",
+					now, e.Job, e.Task, j.Graph.Task(task).Work, startAt[e.Job][task])
+			}
+			running[e.Type]--
+			state[e.Job][task] = taskFinished
+			if cancelled[e.Job] {
+				// A cancelled job's finishes free the processor but
+				// unlock nothing.
+				continue
+			}
+			finished[e.Job]++
+			for _, ch := range j.Graph.Children(task) {
+				pendingParents[e.Job][ch]--
+				if pendingParents[e.Job][ch] == 0 {
+					state[e.Job][ch] = taskReady
+				}
+			}
+			if finished[e.Job] == j.Graph.NumTasks() {
+				liveJobs[j.Tenant]--
+			}
+
+		case obs.KindPreempt, obs.KindKill, obs.KindFail:
+			return fmt.Errorf("verify: stream event %d: %s has no place in a service stream", i, e.Kind)
+		}
+	}
+
+	if int(nextRelease) != len(a.Jobs) {
+		return fmt.Errorf("verify: stream releases %d of %d declared jobs", nextRelease, len(a.Jobs))
+	}
+	for alpha, n := range running {
+		if n != 0 {
+			return fmt.Errorf("verify: stream ends with %d tasks running on pool %d", n, alpha)
+		}
+	}
+	for _, j := range a.Jobs {
+		if cancelled[j.Job] {
+			continue
+		}
+		if finished[j.Job] != j.Graph.NumTasks() {
+			return fmt.Errorf("verify: stream ends with job %d at %d/%d tasks finished", j.Job, finished[j.Job], j.Graph.NumTasks())
+		}
+	}
+	return nil
+}
+
+// auditStreamPick checks the admission-policy invariants of one start:
+// the started task's job is in the maximum priority class with ready
+// work on the pool, and under fair share its tenant minimizes
+// (virtual service, name) among tenants owning such candidates.
+func auditStreamPick(a StreamAudit, state map[int64][]streamTask,
+	released, cancelled map[int64]bool, service map[string]float64,
+	started *StreamJob, task dag.TaskID, pool int64) error {
+
+	// The started task is still marked ready at this point, so its own
+	// job always contributes a candidate. Jobs are scanned in admission
+	// order — deterministic findings, never map order.
+	maxPrio := started.Priority
+	var fairTenant string
+	fairSet := false
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		if !released[j.Job] || cancelled[j.Job] {
+			continue
+		}
+		st := state[j.Job]
+		hasReady := false
+		for t := range st {
+			if st[t] == taskReady && int64(j.Graph.Task(dag.TaskID(t)).Type) == pool {
+				hasReady = true
+				break
+			}
+		}
+		if !hasReady {
+			continue
+		}
+		if j.Priority > maxPrio {
+			return fmt.Errorf("job %d task %d (priority %d) starts over ready priority-%d work of job %d",
+				started.Job, task, started.Priority, j.Priority, j.Job)
+		}
+		if a.FairShare && j.Priority == maxPrio {
+			s := service[j.Tenant]
+			if !fairSet || s < service[fairTenant] ||
+				(s == service[fairTenant] && j.Tenant < fairTenant) {
+				fairTenant = j.Tenant
+				fairSet = true
+			}
+		}
+	}
+	if a.FairShare && fairSet && started.Tenant != fairTenant {
+		return fmt.Errorf("job %d (tenant %q, service %g) starts over tenant %q at service %g",
+			started.Job, started.Tenant, service[started.Tenant], fairTenant, service[fairTenant])
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package verify_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+	"fhs/internal/service"
+	"fhs/internal/verify"
+)
+
+// chainGraph builds a k-typed chain task0 -> task1 -> ... with unit
+// work, types cycling 0..k-1.
+func chainGraph(t *testing.T, k, n int) *dag.Graph {
+	t.Helper()
+	b := dag.NewBuilder(k)
+	var prev dag.TaskID
+	for i := 0; i < n; i++ {
+		id := b.AddTask(dag.Type(i%k), 1)
+		if i > 0 {
+			b.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// serviceStream replays a generated arrival trace through the real
+// service core and returns the audit declaration plus the emitted
+// stream — known-good evidence for the corruption cases to start from.
+func serviceStream(t *testing.T, cfg service.Config) (verify.StreamAudit, []obs.Event) {
+	t.Helper()
+	ops, err := service.GenerateTrace(service.GenConfig{
+		Jobs: 8,
+		Tenants: []service.TenantSpec{
+			{Name: "acme", Weight: 2}, {Name: "blob", Weight: 1},
+		},
+		MeanGap: 3, CancelFrac: 0.25, K: 2, SeedBase: 40,
+	}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := service.Replay(cfg, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := verify.StreamAudit{
+		Procs:        cfg.Procs,
+		DefaultQuota: cfg.DefaultQuota,
+		Quotas:       cfg.Quotas,
+		FairShare:    !cfg.NoFairShare,
+	}
+	for _, j := range res.Stream {
+		sa.Jobs = append(sa.Jobs, verify.StreamJob{
+			Job: j.Idx, Tenant: j.Tenant, Priority: j.Priority,
+			Weight: j.Weight, Graph: j.Graph,
+		})
+	}
+	return sa, res.Events
+}
+
+// TestAuditServiceStreamAccepts: the real core's streams pass, with
+// and without quotas.
+func TestAuditServiceStreamAccepts(t *testing.T) {
+	for _, cfg := range []service.Config{
+		{Procs: []int{2, 2}},
+		{Procs: []int{2, 2}, DefaultQuota: 2},
+		{Procs: []int{1, 3}, Quotas: map[string]int{"acme": 1}},
+		{Procs: []int{2, 2}, Scheduler: "KGreedy"},
+	} {
+		sa, events := serviceStream(t, cfg)
+		if err := verify.AuditServiceStream(sa, events); err != nil {
+			t.Errorf("audit of a clean stream (procs %v): %v", cfg.Procs, err)
+		}
+	}
+}
+
+// TestAuditServiceStreamRejects corrupts a clean stream one defect at
+// a time; the auditor must catch every one.
+func TestAuditServiceStreamRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(sa *verify.StreamAudit, events []obs.Event) []obs.Event
+		wantSub string
+	}{
+		{
+			name: "dropped finish",
+			corrupt: func(sa *verify.StreamAudit, events []obs.Event) []obs.Event {
+				for i := len(events) - 1; i >= 0; i-- {
+					if events[i].Kind == obs.KindFinish {
+						return append(events[:i:i], events[i+1:]...)
+					}
+				}
+				return events
+			},
+			wantSub: "running",
+		},
+		{
+			name: "duplicated start",
+			corrupt: func(sa *verify.StreamAudit, events []obs.Event) []obs.Event {
+				for i, e := range events {
+					if e.Kind == obs.KindStart {
+						out := append([]obs.Event(nil), events[:i+1]...)
+						out = append(out, e)
+						return append(out, events[i+1:]...)
+					}
+				}
+				return events
+			},
+			wantSub: "", // capacity or double-start, either is a catch
+		},
+		{
+			name: "stretched execution",
+			corrupt: func(sa *verify.StreamAudit, events []obs.Event) []obs.Event {
+				out := append([]obs.Event(nil), events...)
+				for i := len(out) - 1; i >= 0; i-- {
+					if out[i].Kind == obs.KindFinish {
+						out[i].Time++
+						// Keep the suffix time-sorted so only the
+						// work-conservation check can fire.
+						for j := i + 1; j < len(out); j++ {
+							if out[j].Time < out[i].Time {
+								out[j].Time = out[i].Time
+							}
+						}
+						return out
+					}
+				}
+				return out
+			},
+			wantSub: "finishes with work",
+		},
+		{
+			name: "time reversal",
+			corrupt: func(sa *verify.StreamAudit, events []obs.Event) []obs.Event {
+				// The last event certainly follows positive-time events,
+				// so zeroing its clock runs time backwards.
+				out := append([]obs.Event(nil), events...)
+				out[len(out)-1].Time = 0
+				return out
+			},
+			wantSub: "after",
+		},
+		{
+			name: "release out of order",
+			corrupt: func(sa *verify.StreamAudit, events []obs.Event) []obs.Event {
+				out := append([]obs.Event(nil), events...)
+				count := 0
+				for i := range out {
+					if out[i].Kind == obs.KindRelease {
+						if count == 1 {
+							out[i].Job++ // second release skips an index
+							return out
+						}
+						count++
+					}
+				}
+				return out
+			},
+			wantSub: "admission index",
+		},
+		{
+			name: "foreign event kind",
+			corrupt: func(sa *verify.StreamAudit, events []obs.Event) []obs.Event {
+				for i, e := range events {
+					if e.Kind == obs.KindFinish {
+						out := append([]obs.Event(nil), events...)
+						out[i].Kind = obs.KindPreempt
+						return out
+					}
+				}
+				return events
+			},
+			wantSub: "no place",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sa, events := serviceStream(t, service.Config{Procs: []int{2, 2}})
+			corrupted := tc.corrupt(&sa, events)
+			err := verify.AuditServiceStream(sa, corrupted)
+			if err == nil {
+				t.Fatal("auditor accepted a corrupted stream")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestAuditServiceStreamQuota: a stream whose declared quota is
+// tighter than what actually ran is rejected at the release.
+func TestAuditServiceStreamQuota(t *testing.T) {
+	sa, events := serviceStream(t, service.Config{Procs: []int{2, 2}})
+	sa.DefaultQuota = 1 // the unlimited run certainly exceeded this
+	if err := verify.AuditServiceStream(sa, events); err == nil {
+		t.Error("auditor accepted a stream violating the declared quota")
+	} else if !strings.Contains(err.Error(), "quota") {
+		t.Errorf("error %q does not mention the quota", err)
+	}
+}
+
+// TestAuditServiceStreamFairness: a FIFO stream that starves one
+// tenant fails the fair-share invariant when audited as fair.
+func TestAuditServiceStreamFairness(t *testing.T) {
+	// Hand-craft the minimal violation: three single-task jobs on a
+	// one-processor pool. After tenant "a" runs once its virtual
+	// service is 1, so the fair pick at t=1 is tenant "b" — the stream
+	// runs "a" again instead.
+	g := chainGraph(t, 1, 1)
+	sa := verify.StreamAudit{
+		Procs:     []int{1},
+		FairShare: true,
+		Jobs: []verify.StreamJob{
+			{Job: 0, Tenant: "a", Weight: 1, Graph: g},
+			{Job: 1, Tenant: "a", Weight: 1, Graph: g},
+			{Job: 2, Tenant: "b", Weight: 1, Graph: g},
+		},
+	}
+	events := []obs.Event{
+		obs.ReleaseEv(0, 0),
+		obs.ReleaseEv(0, 1),
+		obs.ReleaseEv(0, 2),
+		obs.JobTaskEv(obs.KindStart, 0, 0, 0, 0),
+		obs.JobTaskEv(obs.KindFinish, 1, 0, 0, 0),
+		// Violation: tenant a (service 1) starts over tenant b at
+		// service 0 with ready work on the pool.
+		obs.JobTaskEv(obs.KindStart, 1, 1, 0, 0),
+		obs.JobTaskEv(obs.KindFinish, 2, 1, 0, 0),
+		obs.JobTaskEv(obs.KindStart, 2, 2, 0, 0),
+		obs.JobTaskEv(obs.KindFinish, 3, 2, 0, 0),
+	}
+	if err := verify.AuditServiceStream(sa, events); err == nil {
+		t.Error("auditor accepted a fair-share violation")
+	} else if !strings.Contains(err.Error(), "service") {
+		t.Errorf("error %q does not mention virtual service", err)
+	}
+	// The same stream audits clean without the fairness invariant.
+	sa.FairShare = false
+	if err := verify.AuditServiceStream(sa, events); err != nil {
+		t.Errorf("stream without fair-share declared should pass: %v", err)
+	}
+}
+
+// TestAuditServiceStreamPriority: a start over ready higher-priority
+// work is rejected.
+func TestAuditServiceStreamPriority(t *testing.T) {
+	g := chainGraph(t, 1, 1)
+	sa := verify.StreamAudit{
+		Procs: []int{1},
+		Jobs: []verify.StreamJob{
+			{Job: 0, Tenant: "a", Priority: 0, Weight: 1, Graph: g},
+			{Job: 1, Tenant: "a", Priority: 7, Weight: 1, Graph: g},
+		},
+	}
+	events := []obs.Event{
+		obs.ReleaseEv(0, 0),
+		obs.ReleaseEv(0, 1),
+		// Violation: priority 0 runs while priority 7 is ready.
+		obs.JobTaskEv(obs.KindStart, 0, 0, 0, 0),
+		obs.JobTaskEv(obs.KindFinish, 1, 0, 0, 0),
+		obs.JobTaskEv(obs.KindStart, 1, 1, 0, 0),
+		obs.JobTaskEv(obs.KindFinish, 2, 1, 0, 0),
+	}
+	if err := verify.AuditServiceStream(sa, events); err == nil {
+		t.Error("auditor accepted a priority inversion")
+	} else if !strings.Contains(err.Error(), "priority") {
+		t.Errorf("error %q does not mention priority", err)
+	}
+}
+
+// TestAuditServiceStreamCancel: starts after a cancel are rejected;
+// finishes of in-flight tasks after a cancel are accepted.
+func TestAuditServiceStreamCancel(t *testing.T) {
+	sa := verify.StreamAudit{
+		Procs: []int{1},
+		Jobs: []verify.StreamJob{
+			{Job: 0, Tenant: "a", Weight: 1, Graph: chainGraph(t, 1, 2)},
+		},
+	}
+	// In-flight task finishing after cancel: fine.
+	ok := []obs.Event{
+		obs.ReleaseEv(0, 0),
+		obs.JobTaskEv(obs.KindStart, 0, 0, 0, 0),
+		obs.CancelEv(0, 0),
+		obs.JobTaskEv(obs.KindFinish, 1, 0, 0, 0),
+	}
+	if err := verify.AuditServiceStream(sa, ok); err != nil {
+		t.Errorf("in-flight finish after cancel rejected: %v", err)
+	}
+	// Starting new work after cancel: rejected.
+	bad := []obs.Event{
+		obs.ReleaseEv(0, 0),
+		obs.JobTaskEv(obs.KindStart, 0, 0, 0, 0),
+		obs.JobTaskEv(obs.KindFinish, 1, 0, 0, 0),
+		obs.CancelEv(1, 0),
+		obs.JobTaskEv(obs.KindStart, 1, 0, 1, 0),
+		obs.JobTaskEv(obs.KindFinish, 2, 0, 1, 0),
+	}
+	if err := verify.AuditServiceStream(sa, bad); err == nil {
+		t.Error("auditor accepted a start after cancellation")
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClassByName pins the shared name table used by cmd/fhgen and the
+// service wire format.
+func TestClassByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Class
+		ok   bool
+	}{
+		{"ep", EP, true},
+		{"EP", EP, true},
+		{"tree", Tree, true},
+		{"Tree", Tree, true},
+		{"ir", IR, true},
+		{"IR", IR, true},
+		{"", 0, false},
+		{"chain", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ClassByName(c.name)
+		if c.ok != (err == nil) {
+			t.Errorf("ClassByName(%q) error = %v, want ok=%v", c.name, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ClassByName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTypingByName pins typing resolution, including the empty-string
+// default to layered.
+func TestTypingByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Typing
+		ok   bool
+	}{
+		{"", Layered, true},
+		{"layered", Layered, true},
+		{"Layered", Layered, true},
+		{"random", Random, true},
+		{"RANDOM", Random, true},
+		{"typed", 0, false},
+	}
+	for _, c := range cases {
+		got, err := TypingByName(c.name)
+		if c.ok != (err == nil) {
+			t.Errorf("TypingByName(%q) error = %v, want ok=%v", c.name, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("TypingByName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSmallConfigs checks every Small distribution validates, generates,
+// and actually is small — tens of tasks, not the thousands of the
+// default distributions — across both typings and several K.
+func TestSmallConfigs(t *testing.T) {
+	for _, class := range []Class{EP, Tree, IR} {
+		for _, typing := range []Typing{Layered, Random} {
+			for _, k := range []int{1, 2, 4} {
+				cfg := Small(class, k, typing)
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("Small(%v, %d, %v) invalid: %v", class, k, typing, err)
+					continue
+				}
+				rng := rand.New(rand.NewSource(11))
+				for trial := 0; trial < 20; trial++ {
+					g, err := Generate(cfg, rng)
+					if err != nil {
+						t.Fatalf("Small(%v, %d, %v) generate: %v", class, k, typing, err)
+					}
+					n := g.NumTasks()
+					if n < 2 {
+						t.Errorf("Small(%v, %d, %v) produced a %d-task job", class, k, typing, n)
+					}
+					if n > 200 {
+						t.Errorf("Small(%v, %d, %v) produced %d tasks, want a small job", class, k, typing, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSmallDeterministic: the same seed yields the same job.
+func TestSmallDeterministic(t *testing.T) {
+	for _, class := range []Class{EP, Tree, IR} {
+		cfg := Small(class, 3, Layered)
+		a := MustGenerate(cfg, rand.New(rand.NewSource(99)))
+		b := MustGenerate(cfg, rand.New(rand.NewSource(99)))
+		if a.NumTasks() != b.NumTasks() || a.TotalWork() != b.TotalWork() || a.Span() != b.Span() {
+			t.Errorf("Small(%v) not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+				class, a.NumTasks(), a.TotalWork(), a.Span(),
+				b.NumTasks(), b.TotalWork(), b.Span())
+		}
+	}
+}

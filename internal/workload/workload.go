@@ -12,6 +12,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"fhs/internal/dag"
 )
@@ -44,6 +45,22 @@ func (c Class) String() string {
 	}
 }
 
+// ClassByName resolves a class name ("ep", "tree", "ir", any case) to
+// its Class. It is the single name table shared by cmd/fhgen, the
+// service wire format and the experiment harness.
+func ClassByName(name string) (Class, error) {
+	switch strings.ToLower(name) {
+	case "ep":
+		return EP, nil
+	case "tree":
+		return Tree, nil
+	case "ir":
+		return IR, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown class %q (want ep, tree or ir)", name)
+	}
+}
+
 // Typing selects how task types are assigned within a job.
 type Typing int
 
@@ -62,6 +79,19 @@ func (t Typing) String() string {
 		return "Random"
 	}
 	return "Layered"
+}
+
+// TypingByName resolves a typing name ("layered" or "random", any
+// case, "" defaulting to layered) to its Typing.
+func TypingByName(name string) (Typing, error) {
+	switch strings.ToLower(name) {
+	case "", "layered":
+		return Layered, nil
+	case "random":
+		return Random, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown typing %q (want layered or random)", name)
+	}
 }
 
 // EPParams sizes an EP job. Bounds are inclusive.
@@ -313,4 +343,44 @@ func Default(class Class, k int, typing Typing) Config {
 	default:
 		return DefaultIR(k, typing)
 	}
+}
+
+// Small returns a reduced distribution for a class: jobs of tens of
+// tasks rather than thousands, the scale the online service's golden
+// traces, arrival-trace generation and table tests are built on —
+// large enough to exercise precedence and typed contention, small
+// enough that a multi-job trace stays diffable.
+func Small(class Class, k int, typing Typing) Config {
+	cfg := Config{
+		Class:   class,
+		Typing:  typing,
+		K:       k,
+		WorkMin: 1,
+		WorkMax: 2,
+	}
+	switch class {
+	case EP:
+		cfg.EP = EPParams{
+			BranchesMin: 4, BranchesMax: 8,
+			LengthMin: 4, LengthMax: 8,
+			SegmentLenMin: 2, SegmentLenMax: 2,
+		}
+	case Tree:
+		cfg.Tree = TreeParams{
+			Fanout: 4, FanoutProb: 0.2,
+			MaxDepth: 10, MaxNodes: 60, MaxWidth: 10,
+			Spine: true,
+		}
+	default:
+		cfg.IR = IRParams{
+			Iterations: 2,
+			MapMin:     6, MapMax: 10,
+			ReduceMin: 2, ReduceMax: 4,
+			ConnectProb:      0.25,
+			HighFanoutFrac:   0.2,
+			HighFanoutBoost:  3,
+			ReduceWorkFactor: 2,
+		}
+	}
+	return cfg
 }
