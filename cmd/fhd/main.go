@@ -6,38 +6,64 @@
 //
 //	fhd -procs P1,P2,... [-addr HOST:PORT] [-sched NAME]
 //	    [-quota N] [-quotas tenant=N,...] [-nofair] [-workers N]
+//	    [-wal DIR] [-fsync always|batch|off] [-maxbacklog N]
+//	    [-mttf F -mttr F -horizon T [-retries N] [-faultseed S]]
 //	fhd -procs P1,P2,... -replay trace.jsonl [-noaudit]
 //	    [-obs FILE] [-metrics FILE]
 //
-// In serve mode fhd listens on -addr; see DESIGN.md for the API. In
-// replay mode fhd feeds a recorded arrival trace (as written by
+// In serve mode fhd listens on -addr; see DESIGN.md for the API. With
+// -wal DIR every mutating operation is journaled to an append-only
+// write-ahead log before it touches the core, so a crash at any
+// instant — including a SIGKILL mid-write — recovers the exact
+// pre-crash state on restart: the journal replays through the
+// deterministic core and /v1/fingerprint reports a bit-identical
+// certificate. During recovery /readyz serves 503 and mutating
+// requests are refused. SIGINT/SIGTERM trigger a graceful drain:
+// /readyz flips to 503, in-flight requests finish, the WAL is synced
+// and closed, and fhd exits 0.
+//
+// In replay mode fhd feeds a recorded arrival trace (as written by
 // fhgen -arrivals) through a fresh core, audits the resulting stream
 // with the independent verifier, prints the per-tenant summary and the
 // canonical replay fingerprint, and exits. The fingerprint is
 // bit-identical across runs, worker counts and server restarts — CI
-// replays the same trace twice and compares.
+// replays the same trace twice and compares, and the crash-recovery
+// smoke SIGKILLs a serving fhd mid-trace and diffs fingerprints after
+// restart.
+//
+// The -mttf/-mttr/-horizon flags draw a seeded capacity-churn fault
+// plan (processors crash and repair with exponential up/down times);
+// killed tasks are retried up to -retries times before the job fails.
 //
 // Examples:
 //
 //	fhgen -arrivals 20 -tenants acme:2,blob:1 -k 2 > trace.jsonl
 //	fhd -procs 2,2 -replay trace.jsonl
-//	fhd -procs 2,2 -addr 127.0.0.1:8080 &
+//	fhd -procs 2,2 -addr 127.0.0.1:8080 -wal /var/lib/fhd/wal &
 //	curl -X POST localhost:8080/v1/jobs -d \
 //	  '{"id":"j0","tenant":"acme","spec":{"class":"ep","k":2,"seed":7}}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
+	"fhs/internal/fault"
 	"fhs/internal/obs"
 	"fhs/internal/service"
+	"fhs/internal/service/wal"
 	"fhs/internal/verify"
 )
 
@@ -52,6 +78,16 @@ func main() {
 		quotasSpec = flag.String("quotas", "", "per-tenant quota overrides, e.g. acme=2,blob=1")
 		nofair     = flag.Bool("nofair", false, "disable deterministic fair share (FIFO within priority)")
 		workers    = flag.Int("workers", 1, "parallel scoring workers (never changes outcomes)")
+		maxBacklog = flag.Int("maxbacklog", 0, "shed submits once this many tasks are queued or running (0 = unbounded)")
+		walDir     = flag.String("wal", "", "serve mode: write-ahead log directory (empty = no durability)")
+		fsyncName  = flag.String("fsync", "batch", "WAL fsync policy: always, batch or off")
+		segBytes   = flag.Int64("segbytes", 1<<20, "WAL segment rotation threshold in bytes")
+		snapEvery  = flag.Int("snapevery", 256, "WAL: snapshot and compact after this many appends (0 = never)")
+		mttf       = flag.Float64("mttf", 0, "mean time to processor failure (0 = no fault churn)")
+		mttr       = flag.Float64("mttr", 0, "mean time to processor repair (required with -mttf)")
+		horizon    = flag.Int64("horizon", 0, "fault churn horizon; all processors stay up past it")
+		retries    = flag.Int("retries", 0, "per-task retry budget under fault churn")
+		faultSeed  = flag.Int64("faultseed", 1, "seed for the fault plan draw")
 		replayPath = flag.String("replay", "", "replay mode: arrival trace file (JSONL)")
 		noaudit    = flag.Bool("noaudit", false, "replay mode: skip the independent stream audit")
 		obsPath    = flag.String("obs", "", "replay mode: write the obs event stream (JSONL) to this file")
@@ -71,14 +107,22 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := service.Config{
-		Procs:        procs,
-		Scheduler:    *schedName,
-		DefaultQuota: *quota,
-		Quotas:       quotas,
-		NoFairShare:  *nofair,
-		Workers:      *workers,
-		Obs:          obs.NewTracer(),
-		Metrics:      obs.NewRegistry(),
+		Procs:           procs,
+		Scheduler:       *schedName,
+		DefaultQuota:    *quota,
+		Quotas:          quotas,
+		NoFairShare:     *nofair,
+		Workers:         *workers,
+		MaxBacklogTasks: *maxBacklog,
+		Obs:             obs.NewTracer(),
+		Metrics:         obs.NewRegistry(),
+	}
+	if *mttf > 0 {
+		fc := fault.Config{MTTF: *mttf, MTTR: *mttr, Horizon: *horizon, MaxRetries: *retries}
+		if err := fc.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = fc.NewPlan(procs, rand.New(rand.NewSource(*faultSeed)))
 	}
 
 	if *replayPath != "" {
@@ -88,12 +132,96 @@ func main() {
 		return
 	}
 
-	core, err := service.New(cfg)
-	if err != nil {
+	if err := serve(cfg, *addr, *walDir, *fsyncName, *segBytes, *snapEvery); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving on http://%s (procs %s, sched %s)", *addr, *procsSpec, *schedName)
-	log.Fatal(http.ListenAndServe(*addr, service.NewHandler(core)))
+}
+
+// serve runs the HTTP service until SIGINT/SIGTERM, recovering from
+// and journaling to the WAL when -wal is set, then drains gracefully.
+func serve(cfg service.Config, addr, walDir, fsyncName string, segBytes int64, snapEvery int) error {
+	core, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var opts []service.HandlerOption
+	var jn *service.Journal
+	var recovered []service.Rec
+	if walDir != "" {
+		policy, err := wal.PolicyByName(fsyncName)
+		if err != nil {
+			return err
+		}
+		var rec *wal.Recovery
+		jn, recovered, rec, err = service.OpenJournal(walDir, service.JournalOptions{
+			WAL:           wal.Options{Fsync: policy, SegmentBytes: segBytes},
+			SnapshotEvery: snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer jn.Close()
+		log.Printf("wal: %s: %d ops recovered (%d from snapshot, %d segments, %d torn bytes truncated)",
+			walDir, len(recovered), rec.SnapshotFrames, rec.Segments, rec.TruncatedBytes)
+		opts = append(opts, service.WithJournal(jn), service.StartUnready())
+	}
+
+	h := service.NewHandler(core, opts...)
+	if jn != nil {
+		start := time.Now()
+		if err := h.Recover(recovered); err != nil {
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		if n := len(recovered); n > 0 {
+			fp, err := service.Fingerprint(cfg.Obs.Events(), cfg.Metrics)
+			if err != nil {
+				return err
+			}
+			log.Printf("wal: replayed %d ops in %v; fingerprint %s", n, time.Since(start).Round(time.Millisecond), fp)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on http://%s (procs %v, sched %s)", addr, cfg.Procs, cfg.Scheduler)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately via default handling
+
+	// Graceful drain: stop admitting, finish in-flight requests, make
+	// the journal durable, exit 0.
+	log.Print("signal received; draining")
+	h.StartDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if jn != nil {
+		if err := jn.Sync(); err != nil {
+			return fmt.Errorf("wal sync: %w", err)
+		}
+		if err := jn.Close(); err != nil {
+			return fmt.Errorf("wal close: %w", err)
+		}
+	}
+	log.Print("drained cleanly")
+	return nil
 }
 
 // replay feeds a recorded arrival trace through a fresh core and
@@ -114,8 +242,8 @@ func replay(cfg service.Config, path string, audit bool, obsPath, metricsPath st
 		return fmt.Errorf("%s: %w", path, err)
 	}
 
-	fmt.Printf("replayed %d ops: %d submitted, %d rejected, %d cancelled, %d cancel misses, makespan %d\n",
-		len(ops), res.Submitted, res.Rejected, res.Cancelled, res.CancelMisses, res.Makespan)
+	fmt.Printf("replayed %d ops: %d submitted, %d rejected, %d shed, %d cancelled, %d cancel misses, makespan %d\n",
+		len(ops), res.Submitted, res.Rejected, res.Shed, res.Cancelled, res.CancelMisses, res.Makespan)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "tenant\tadmitted\tdone\tcancelled\trejected\tweighted completion\tflow sum")
 	for _, ts := range res.Summary.Tenants {
@@ -125,6 +253,10 @@ func replay(cfg service.Config, path string, audit bool, obsPath, metricsPath st
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	if res.Summary.Kills > 0 {
+		fmt.Printf("fault churn: %d kills, %d wasted work units, %d jobs failed\n",
+			res.Summary.Kills, res.Summary.WastedWork, res.Summary.Failed)
+	}
 
 	if audit {
 		sa := verify.StreamAudit{
@@ -132,6 +264,10 @@ func replay(cfg service.Config, path string, audit bool, obsPath, metricsPath st
 			DefaultQuota: cfg.DefaultQuota,
 			Quotas:       cfg.Quotas,
 			FairShare:    !cfg.NoFairShare,
+		}
+		if cfg.Faults != nil {
+			sa.Timeline = cfg.Faults.Timeline
+			sa.MaxRetries = cfg.Faults.MaxRetries
 		}
 		for _, j := range res.Stream {
 			sa.Jobs = append(sa.Jobs, verify.StreamJob{

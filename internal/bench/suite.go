@@ -28,6 +28,8 @@ func Suite() []Benchmark {
 		{Name: "sim/paranoid/mqb-ir", Setup: engineBench("MQB", workload.IR, false, true)},
 		{Name: "service/replay-mqb", Setup: serviceReplayBench("MQB")},
 		{Name: "service/replay-kgreedy", Setup: serviceReplayBench("KGreedy")},
+		{Name: "service/wal-append", Setup: walAppendBench},
+		{Name: "service/wal-recover", Setup: walRecoverBench},
 		{Name: "core/mqb-pick-wide-ep", Setup: mqbPickBench},
 		{Name: "dag/typed-descendants", Setup: typedDescBench},
 		{Name: "dag/onestep-descendants", Setup: oneStepDescBench},

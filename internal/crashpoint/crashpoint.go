@@ -1,0 +1,167 @@
+// Package crashpoint is the deterministic crash-injection framework
+// behind the durability tests: named sites in the durability-critical
+// code (WAL append, rotation, snapshot) call Hit, and an armed process
+// dies — hard, via os.Exit, no deferred cleanup — the n-th time the
+// armed site is reached.
+//
+// Arming is explicit and external: either the FH_CRASHPOINT
+// environment variable ("site" or "site:n", n counted from 1) set on a
+// child process by the re-exec test harness, or Arm from a test in the
+// same process combined with SetFailer to observe the would-be crash
+// without actually exiting. An unarmed process pays one atomic load
+// per site hit.
+//
+// Sites self-register at package init through New, so tests can
+// enumerate the full catalog with Sites and prove crash-equivalence
+// for every registered site rather than a hand-picked few.
+package crashpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar names the environment variable the re-exec harness arms
+// child processes with: "site" or "site:n" (crash on the n-th hit).
+const EnvVar = "FH_CRASHPOINT"
+
+// ExitCode is the status an armed process dies with, distinct from
+// test-failure and panic codes so harnesses can assert the death was
+// the injected one.
+const ExitCode = 86
+
+// Site is one named crash location. Obtain sites with New at package
+// init and call Hit at the instant the crash should be injectable.
+type Site struct {
+	name string
+	hits atomic.Int64
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Site{}
+
+	// armed is the active arming, nil when disarmed. Stored atomically
+	// so Hit's fast path is one load.
+	armed atomic.Pointer[arming]
+
+	envOnce sync.Once
+)
+
+type arming struct {
+	site string
+	n    int64
+	fail func(site string)
+}
+
+// New registers a crash site. Registering the same name twice returns
+// the existing site, so packages may share a catalog entry.
+func New(name string) *Site {
+	if name == "" {
+		panic("crashpoint: empty site name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := registry[name]; ok {
+		return s
+	}
+	s := &Site{name: name}
+	registry[name] = s
+	return s
+}
+
+// Sites returns every registered site name, sorted — the catalog the
+// crash-equivalence tests iterate.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Hit crosses the site. If the process is armed for this site and this
+// is the n-th crossing since arming, the process dies (or the
+// test-injected failer runs). Unarmed, the cost is one atomic load.
+func (s *Site) Hit() {
+	envOnce.Do(armFromEnv)
+	a := armed.Load()
+	if a == nil || a.site != s.name {
+		return
+	}
+	if s.hits.Add(1) != a.n {
+		return
+	}
+	if a.fail != nil {
+		a.fail(s.name)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "crashpoint: injected crash at %s (hit %d)\n", s.name, a.n)
+	os.Exit(ExitCode)
+}
+
+// armFromEnv parses FH_CRASHPOINT once, before the first Hit.
+func armFromEnv() {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return
+	}
+	site, n, err := ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashpoint: bad %s=%q: %v\n", EnvVar, spec, err)
+		os.Exit(2)
+	}
+	armed.Store(&arming{site: site, n: int64(n)})
+}
+
+// ParseSpec splits an arming spec "site" or "site:n" (n >= 1).
+func ParseSpec(spec string) (site string, n int, err error) {
+	site, count, ok := strings.Cut(spec, ":")
+	n = 1
+	if ok {
+		n, err = strconv.Atoi(count)
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("hit count %q, want an integer >= 1", count)
+		}
+	}
+	if site == "" {
+		return "", 0, fmt.Errorf("empty site name")
+	}
+	return site, n, nil
+}
+
+// Arm arms the named site in-process: the n-th Hit after arming
+// invokes fail (or kills the process when fail is nil). Tests pair it
+// with a deferred Disarm.
+func Arm(site string, n int, fail func(site string)) {
+	if n < 1 {
+		panic("crashpoint: arm with hit count < 1")
+	}
+	mu.Lock()
+	if s, ok := registry[site]; ok {
+		s.hits.Store(0)
+	}
+	mu.Unlock()
+	armed.Store(&arming{site: site, n: int64(n), fail: fail})
+}
+
+// Disarm clears any in-process arming and resets hit counters.
+func Disarm() {
+	armed.Store(nil)
+	mu.Lock()
+	for _, s := range registry {
+		s.hits.Store(0)
+	}
+	mu.Unlock()
+}

@@ -1,0 +1,103 @@
+package crashpoint
+
+import (
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		site    string
+		n       int
+		wantErr bool
+	}{
+		{spec: "wal.append", site: "wal.append", n: 1},
+		{spec: "wal.append:3", site: "wal.append", n: 3},
+		{spec: "", wantErr: true},
+		{spec: ":2", wantErr: true},
+		{spec: "x:zero", wantErr: true},
+		{spec: "x:0", wantErr: true},
+		{spec: "x:-1", wantErr: true},
+	}
+	for _, tc := range cases {
+		site, n, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): no error", tc.spec)
+			}
+			continue
+		}
+		if err != nil || site != tc.site || n != tc.n {
+			t.Errorf("ParseSpec(%q) = (%q, %d, %v), want (%q, %d)", tc.spec, site, n, err, tc.site, tc.n)
+		}
+	}
+}
+
+func TestArmTriggersOnNthHit(t *testing.T) {
+	s := New("test.site.nth")
+	defer Disarm()
+	var fired []string
+	Arm("test.site.nth", 3, func(site string) { fired = append(fired, site) })
+	for i := 0; i < 5; i++ {
+		s.Hit()
+	}
+	if len(fired) != 1 || fired[0] != "test.site.nth" {
+		t.Fatalf("armed site fired %v, want exactly one firing on hit 3", fired)
+	}
+}
+
+func TestUnrelatedSiteDoesNotFire(t *testing.T) {
+	a := New("test.site.a")
+	b := New("test.site.b")
+	defer Disarm()
+	fired := 0
+	Arm("test.site.a", 1, func(string) { fired++ })
+	b.Hit()
+	if fired != 0 {
+		t.Fatal("unarmed site fired")
+	}
+	a.Hit()
+	if fired != 1 {
+		t.Fatalf("armed site fired %d times, want 1", fired)
+	}
+}
+
+func TestSitesCatalogSortedAndDeduplicated(t *testing.T) {
+	New("test.catalog.z")
+	New("test.catalog.a")
+	if s1, s2 := New("test.catalog.a"), New("test.catalog.a"); s1 != s2 {
+		t.Fatal("re-registering a site returned a different instance")
+	}
+	names := Sites()
+	seen := map[string]bool{}
+	for i, n := range names {
+		if seen[n] {
+			t.Fatalf("catalog lists %q twice", n)
+		}
+		seen[n] = true
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("catalog not sorted: %q before %q", names[i-1], n)
+		}
+	}
+	if !seen["test.catalog.a"] || !seen["test.catalog.z"] {
+		t.Fatal("catalog missing registered sites")
+	}
+}
+
+func TestDisarmResetsCounters(t *testing.T) {
+	s := New("test.site.reset")
+	fired := 0
+	Arm("test.site.reset", 2, func(string) { fired++ })
+	s.Hit()
+	Disarm()
+	Arm("test.site.reset", 2, func(string) { fired++ })
+	s.Hit() // counter restarted: this is hit 1 of 2
+	if fired != 0 {
+		t.Fatal("site fired despite counter reset")
+	}
+	s.Hit()
+	if fired != 1 {
+		t.Fatalf("site fired %d times after two post-reset hits, want 1", fired)
+	}
+	Disarm()
+}

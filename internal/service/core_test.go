@@ -41,6 +41,10 @@ func audit(t *testing.T, c *Core) {
 		Quotas:       c.cfg.Quotas,
 		FairShare:    !c.cfg.NoFairShare,
 	}
+	if c.cfg.Faults != nil {
+		sa.Timeline = c.cfg.Faults.Timeline
+		sa.MaxRetries = c.cfg.Faults.MaxRetries
+	}
 	for _, j := range c.StreamJobs() {
 		sa.Jobs = append(sa.Jobs, verify.StreamJob{
 			Job: j.Idx, Tenant: j.Tenant, Priority: j.Priority,

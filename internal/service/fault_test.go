@@ -1,0 +1,263 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fhs/internal/dag"
+	"fhs/internal/fault"
+	"fhs/internal/obs"
+	"fhs/internal/verify"
+)
+
+// churnPlan builds a scripted capacity timeline over the {2,2} test
+// machine: pool 0 loses one processor at t=3, both at t=6, and is
+// fully repaired at t=12; pool 1 dips to one processor in [5, 9).
+func churnPlan(maxRetries int) *fault.Plan {
+	tl := fault.NewTimeline([]int{2, 2})
+	tl.MustSet(0, 3, 1)
+	tl.MustSet(0, 6, 0)
+	tl.MustSet(0, 12, 2)
+	tl.MustSet(1, 5, 1)
+	tl.MustSet(1, 9, 2)
+	return &fault.Plan{Timeline: tl, MaxRetries: maxRetries}
+}
+
+// TestChurnKillsAndRecovers drives several jobs through capacity
+// churn: kills must be accounted as wasted work, every job must still
+// finish once capacity returns, and the stream must satisfy the
+// auditor's churn invariants.
+func TestChurnKillsAndRecovers(t *testing.T) {
+	c := newTestCore(t, func(cfg *Config) { cfg.Faults = churnPlan(10) })
+	for i := int64(0); i < 6; i++ {
+		if _, err := c.Submit(SubmitRequest{
+			ID: string(rune('a'+i)) + "-job", Tenant: "acme", Spec: spec(2, i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	sum := c.Summary()
+	if sum.Done != 6 || sum.Failed != 0 {
+		t.Fatalf("summary after churned drain: %+v", sum)
+	}
+	if sum.Kills == 0 {
+		t.Fatal("capacity churn produced no kills; the timeline never bit")
+	}
+	if sum.WastedWork <= 0 {
+		t.Fatalf("kills without wasted work: %+v", sum)
+	}
+	audit(t, c)
+}
+
+// TestChurnDeterminism: identical op sequences under identical fault
+// plans produce bit-identical fingerprints.
+func TestChurnDeterminism(t *testing.T) {
+	run := func() string {
+		t.Helper()
+		c := newTestCore(t, func(cfg *Config) { cfg.Faults = churnPlan(10) })
+		for i := int64(0); i < 5; i++ {
+			_ = c.AdvanceTo(i * 2)
+			if _, err := c.Submit(SubmitRequest{
+				ID: string(rune('a' + i)), Tenant: "acme", Spec: spec(2, i),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Drain()
+		fp, err := Fingerprint(c.cfg.Obs.Events(), c.cfg.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("churned runs diverge: %s vs %s", a, b)
+	}
+}
+
+// TestRetryBudgetFailsJob: with a zero retry budget, the first kill
+// retires the whole job as failed, retracts its queued work, and a
+// later cancel reports the failure.
+func TestRetryBudgetFailsJob(t *testing.T) {
+	tl := fault.NewTimeline([]int{2, 2})
+	tl.MustSet(0, 1, 0) // crash pool 0 entirely at t=1...
+	tl.MustSet(0, 50, 2)
+	tl.MustSet(1, 1, 0) // ...and pool 1 with it
+	tl.MustSet(1, 50, 2)
+	c := newTestCore(t, func(cfg *Config) {
+		cfg.Faults = &fault.Plan{Timeline: tl, MaxRetries: 0}
+	})
+	st, err := c.Submit(SubmitRequest{ID: "doomed", Tenant: "acme", Spec: spec(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning {
+		t.Fatalf("admitted job in state %q", st.State)
+	}
+	c.Drain()
+	st, err = c.Status("doomed")
+	if err != nil || st.State != StateFailed {
+		t.Fatalf("after churned drain: status %+v, err %v; want state failed", st, err)
+	}
+	if _, err := c.Cancel("doomed"); !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("cancel of failed job: %v, want ErrJobFailed", err)
+	}
+	sum := c.Summary()
+	if sum.Failed != 1 || sum.Kills == 0 {
+		t.Fatalf("summary: %+v, want one failed job and at least one kill", sum)
+	}
+	audit(t, c)
+}
+
+// TestChurnAgainstGeneratedPlan soaks the core against a seeded
+// MTTF/MTTR plan and a generated arrival trace — the paper's online
+// regime on an unreliable machine — under full audit.
+func TestChurnAgainstGeneratedPlan(t *testing.T) {
+	fc := fault.Config{MTTF: 30, MTTR: 6, Horizon: 400, MaxRetries: 25}
+	plan := fc.NewPlan([]int{2, 2}, rand.New(rand.NewSource(11)))
+	plan.Seed = 0 // no completion-failure coin in the service core
+	ops, err := GenerateTrace(GenConfig{
+		Jobs: 14, K: 2, MeanGap: 6, CancelFrac: 0.2,
+		Tenants: []TenantSpec{{Name: "a", Weight: 1}, {Name: "b", Weight: 2}},
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(Config{Procs: []int{2, 2}, Faults: plan}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Replay(Config{Procs: []int{2, 2}, Faults: plan}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != res2.Fingerprint {
+		t.Fatal("generated-churn replays diverge")
+	}
+	sa := verify.StreamAudit{
+		Procs: []int{2, 2}, FairShare: true,
+		Timeline: plan.Timeline, MaxRetries: plan.MaxRetries,
+	}
+	for _, j := range res.Stream {
+		sa.Jobs = append(sa.Jobs, verify.StreamJob{
+			Job: j.Idx, Tenant: j.Tenant, Priority: j.Priority,
+			Weight: j.Weight, Graph: j.Graph,
+		})
+	}
+	if err := verify.AuditServiceStream(sa, res.Events); err != nil {
+		t.Fatalf("churned replay fails audit: %v", err)
+	}
+}
+
+// TestSheddingCarveOut: once the backlog bound is hit, a flooding
+// tenant is shed with a deterministic Retry-After while a tenant with
+// no backlog is still admitted.
+func TestSheddingCarveOut(t *testing.T) {
+	c := newTestCore(t, func(cfg *Config) { cfg.MaxBacklogTasks = 8 })
+	var shed int
+	var lastErr error
+	for i := int64(0); i < 12; i++ {
+		_, err := c.Submit(SubmitRequest{
+			ID: string(rune('a' + i)), Tenant: "flood", Spec: spec(2, i),
+		})
+		if errors.Is(err, ErrOverloaded) {
+			shed++
+			lastErr = err
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("12 submits over an 8-task backlog bound shed nothing")
+	}
+	if ra := c.RetryAfter(); ra < 1 {
+		t.Fatalf("RetryAfter = %d, want >= 1", ra)
+	}
+	// A quiet tenant is admitted past the bound: the carve-out.
+	if _, err := c.Submit(SubmitRequest{ID: "quiet-1", Tenant: "quiet", Spec: spec(2, 99)}); err != nil {
+		t.Fatalf("carve-out tenant shed: %v", err)
+	}
+	sum := c.Summary()
+	var floodSum, quietSum *TenantSummary
+	for i := range sum.Tenants {
+		switch sum.Tenants[i].Tenant {
+		case "flood":
+			floodSum = &sum.Tenants[i]
+		case "quiet":
+			quietSum = &sum.Tenants[i]
+		}
+	}
+	if floodSum == nil || floodSum.Shed != shed {
+		t.Fatalf("flood tenant summary %+v, want %d shed", floodSum, shed)
+	}
+	if quietSum == nil || quietSum.Shed != 0 || quietSum.Admitted != 1 {
+		t.Fatalf("quiet tenant summary %+v", quietSum)
+	}
+	if lastErr == nil || !errors.Is(lastErr, ErrOverloaded) {
+		t.Fatalf("shed error %v", lastErr)
+	}
+	c.Drain()
+	audit(t, c)
+}
+
+// TestIdempotentResubmit: a byte-identical duplicate returns the
+// original admission response without touching the core; a same-ID
+// different-body submit is still a conflict.
+func TestIdempotentResubmit(t *testing.T) {
+	c := newTestCore(t, nil)
+	req := SubmitRequest{ID: "j0", Tenant: "acme", Spec: spec(2, 1)}
+	orig, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AdvanceTo(5) // state moves on; the stored response must not
+
+	again, err := c.Submit(req)
+	if !errors.Is(err, ErrIdempotentReplay) {
+		t.Fatalf("identical resubmit: %v, want ErrIdempotentReplay", err)
+	}
+	if again != orig {
+		t.Fatalf("idempotent resubmit returned %+v, original was %+v", again, orig)
+	}
+
+	mutated := req
+	mutated.Spec.Seed = 2
+	if _, err := c.Submit(mutated); !errors.Is(err, ErrDuplicateJob) {
+		t.Fatalf("conflicting resubmit: %v, want ErrDuplicateJob", err)
+	}
+	c.Drain()
+	audit(t, c)
+}
+
+// TestFailureProbRejected: the service core refuses transient
+// completion-failure plans (the coin keys collide across jobs).
+func TestFailureProbRejected(t *testing.T) {
+	_, err := New(Config{Procs: []int{2, 2}, Faults: &fault.Plan{FailureProb: 0.5}})
+	if err == nil {
+		t.Fatal("config with FailureProb accepted")
+	}
+}
+
+// TestZeroCapacityPoolsSkipXUtil: with a pool fully down, the sampler
+// must not emit an x-utilization event for it (no capacity to
+// normalize by), and the stream stays valid.
+func TestZeroCapacityPoolsSkipXUtil(t *testing.T) {
+	tl := fault.NewTimeline([]int{2, 2})
+	tl.MustSet(dag.Type(0), 2, 0)
+	tl.MustSet(dag.Type(0), 20, 2)
+	c := newTestCore(t, func(cfg *Config) {
+		cfg.Faults = &fault.Plan{Timeline: tl, MaxRetries: 10}
+	})
+	if _, err := c.Submit(SubmitRequest{ID: "j0", Tenant: "acme", Spec: spec(2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	for _, e := range c.cfg.Obs.Events() {
+		if e.Kind == obs.KindXUtil && e.Arg == 0 {
+			t.Fatalf("x-utilization sampled against zero capacity: %+v", e)
+		}
+	}
+	audit(t, c)
+}

@@ -7,13 +7,23 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"fhs/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; arrival ops are small.
 const maxBodyBytes = 1 << 20
+
+// ErrDraining marks a mutating request arriving after graceful drain
+// began; the API layer maps it to 503.
+var ErrDraining = errors.New("draining")
+
+// errRecovering marks a mutating request arriving before WAL recovery
+// finished.
+var errRecovering = errors.New("recovering")
 
 // DecodeSubmitRequest parses a submit body strictly: unknown fields,
 // trailing garbage and shape violations are ErrBadRequest. Exported so
@@ -44,28 +54,56 @@ type advanceRequest struct {
 // Handler serializes HTTP access to one Core. The core is
 // single-owner; the handler's mutex is the ownership boundary, so
 // concurrent submitters observe a deterministic core state for any
-// fixed request order.
+// fixed request order. With a journal attached, every mutating
+// operation is logged before it is applied (write-ahead), so a crash
+// at any instant recovers to the exact pre-crash state.
 type Handler struct {
-	mu   sync.Mutex
-	core *Core
-	mux  *http.ServeMux
+	mu      sync.Mutex
+	core    *Core
+	journal *Journal
+	mux     *http.ServeMux
+
+	ready    atomic.Bool // false until WAL recovery finishes
+	draining atomic.Bool // true once graceful shutdown began
+}
+
+// HandlerOption configures NewHandler.
+type HandlerOption func(*Handler)
+
+// WithJournal attaches a durable operation journal: mutating requests
+// are journaled before they touch the core.
+func WithJournal(jn *Journal) HandlerOption {
+	return func(h *Handler) { h.journal = jn }
+}
+
+// StartUnready makes the handler refuse mutating requests (503) and
+// report /readyz false until Recover (or MarkReady) runs — the WAL
+// recovery window of a restarted server.
+func StartUnready() HandlerOption {
+	return func(h *Handler) { h.ready.Store(false) }
 }
 
 // NewHandler wraps a core in the JSON-over-HTTP API.
-func NewHandler(core *Core) *Handler {
+func NewHandler(core *Core, opts ...HandlerOption) *Handler {
 	h := &Handler{core: core, mux: http.NewServeMux()}
+	h.ready.Store(true)
+	for _, opt := range opts {
+		opt(h)
+	}
 	h.mux.HandleFunc("POST /v1/jobs", h.submit)
 	h.mux.HandleFunc("GET /v1/jobs", h.list)
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	h.mux.HandleFunc("POST /v1/advance", h.advance)
 	h.mux.HandleFunc("GET /v1/summary", h.summary)
+	h.mux.HandleFunc("GET /v1/fingerprint", h.fingerprint)
 	h.mux.HandleFunc("GET /v1/obs", h.obs)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	h.mux.HandleFunc("GET /readyz", h.readyz)
 	return h
 }
 
@@ -74,17 +112,83 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// Recover replays journaled records into the core under the handler's
+// lock, then marks the handler ready. Mutating requests racing the
+// recovery are refused with 503; /readyz reports false throughout.
+func (h *Handler) Recover(recs []Rec) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := ApplyRecs(h.core, recs); err != nil {
+		return err
+	}
+	h.ready.Store(true)
+	return nil
+}
+
+// MarkReady flips readiness without a recovery pass (fresh core).
+func (h *Handler) MarkReady() { h.ready.Store(true) }
+
+// StartDrain begins graceful shutdown: /readyz flips to 503 so load
+// balancers stop routing, and subsequent mutating requests are refused
+// while in-flight ones finish under the lock.
+func (h *Handler) StartDrain() { h.draining.Store(true) }
+
+// Draining reports whether graceful shutdown began.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// acceptMutation reports whether a mutating request may proceed; the
+// returned error is the refusal.
+func (h *Handler) acceptMutation() error {
+	if !h.ready.Load() {
+		return errRecovering
+	}
+	if h.draining.Load() {
+		return ErrDraining
+	}
+	return nil
+}
+
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case !h.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+	case h.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// record journals one operation ahead of applying it. Callers hold
+// h.mu. A journal append failure is a durability loss: the op must not
+// execute.
+func (h *Handler) record(r Rec) error {
+	if h.journal == nil {
+		return nil
+	}
+	return h.journal.Record(r)
+}
+
 // errorStatus maps core sentinel errors onto HTTP statuses.
 func errorStatus(err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTimeTravel):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, ErrDuplicateJob), errors.Is(err, ErrJobDone), errors.Is(err, ErrJobCancelled):
+	case errors.Is(err, ErrDuplicateJob), errors.Is(err, ErrJobDone),
+		errors.Is(err, ErrJobCancelled), errors.Is(err, ErrJobFailed):
 		return http.StatusConflict
-	case errors.Is(err, ErrQuotaExceeded):
+	case errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, errRecovering):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -101,10 +205,24 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
 }
 
-func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+// readBody drains a request body under the size bound; an oversized
+// body surfaces as *http.MaxBytesError (413).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return body, nil
+}
+
+func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	req, err := DecodeSubmitRequest(body)
@@ -113,13 +231,29 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.mu.Lock()
-	st, err := h.core.Submit(req)
-	h.mu.Unlock()
-	if err != nil {
+	defer h.mu.Unlock()
+	if err := h.acceptMutation(); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, st)
+	if err := h.record(Rec{Op: "submit", Submit: &req}); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := h.core.Submit(req)
+	switch {
+	case errors.Is(err, ErrIdempotentReplay):
+		// A retried submit: answer with the original admission
+		// response, 200 because nothing new was created.
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.FormatInt(h.core.RetryAfter(), 10))
+		writeError(w, err)
+	case err != nil:
+		writeError(w, err)
+	default:
+		writeJSON(w, http.StatusCreated, st)
+	}
 }
 
 func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
@@ -142,8 +276,17 @@ func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) cancel(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
-	st, err := h.core.Cancel(r.PathValue("id"))
-	h.mu.Unlock()
+	defer h.mu.Unlock()
+	if err := h.acceptMutation(); err != nil {
+		writeError(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	if err := h.record(Rec{Op: "cancel", ID: id}); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := h.core.Cancel(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -152,9 +295,9 @@ func (h *Handler) cancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) advance(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	body, err := readBody(w, r)
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		writeError(w, err)
 		return
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))
@@ -164,15 +307,31 @@ func (h *Handler) advance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
+	if dec.More() {
+		writeError(w, fmt.Errorf("%w: trailing data after request object", ErrBadRequest))
+		return
+	}
 	if (req.To == nil) == !req.Drain {
 		writeError(w, fmt.Errorf("%w: want exactly one of to or drain", ErrBadRequest))
 		return
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if err := h.acceptMutation(); err != nil {
+		writeError(w, err)
+		return
+	}
 	if req.Drain {
+		if err := h.record(Rec{Op: "drain"}); err != nil {
+			writeError(w, err)
+			return
+		}
 		now := h.core.Drain()
 		writeJSON(w, http.StatusOK, map[string]int64{"now": now})
+		return
+	}
+	if err := h.record(Rec{Op: "advance", To: *req.To}); err != nil {
+		writeError(w, err)
 		return
 	}
 	if err := h.core.AdvanceTo(*req.To); err != nil {
@@ -180,6 +339,31 @@ func (h *Handler) advance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{"now": h.core.Now()})
+}
+
+// fingerprint reports the canonical replay certificate of the served
+// core — the restart smoke compares this across a crash.
+func (h *Handler) fingerprint(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.core.cfg.Obs == nil || h.core.cfg.Metrics == nil {
+		writeError(w, fmt.Errorf("%w: fingerprint needs tracing and metrics enabled", ErrBadRequest))
+		return
+	}
+	fp, err := Fingerprint(h.core.cfg.Obs.Events(), h.core.cfg.Metrics)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fingerprint": fp, "now": h.core.Now(), "ops": h.journalFrames()})
+}
+
+// journalFrames reports the journal depth, 0 without a journal.
+func (h *Handler) journalFrames() int {
+	if h.journal == nil {
+		return 0
+	}
+	return h.journal.Frames()
 }
 
 func (h *Handler) summary(w http.ResponseWriter, r *http.Request) {

@@ -137,7 +137,8 @@ func TestHTTPErrors(t *testing.T) {
 		{"unknown field", "POST", "/v1/jobs", `{"id":"x","tenant":"t","nope":1}`, http.StatusBadRequest},
 		{"empty id", "POST", "/v1/jobs", submitBody("", "acme", 1), http.StatusBadRequest},
 		{"trailing garbage", "POST", "/v1/jobs", submitBody("x", "acme", 1) + `{"again":true}`, http.StatusBadRequest},
-		{"duplicate id", "POST", "/v1/jobs", submitBody("j0", "acme", 1), http.StatusConflict},
+		{"duplicate id, different body", "POST", "/v1/jobs", submitBody("j0", "acme", 9), http.StatusConflict},
+		{"duplicate id, identical body", "POST", "/v1/jobs", submitBody("j0", "acme", 1), http.StatusOK},
 		{"quota", "POST", "/v1/jobs", submitBody("j1", "acme", 2), http.StatusTooManyRequests},
 		{"unknown job status", "GET", "/v1/jobs/ghost", "", http.StatusNotFound},
 		{"unknown job cancel", "DELETE", "/v1/jobs/ghost", "", http.StatusNotFound},
@@ -172,6 +173,196 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	if code := do(t, "POST", srv.URL+"/v1/advance", `{"to":1}`, nil); code != http.StatusBadRequest {
 		t.Errorf("time travel: %d, want 400", code)
+	}
+}
+
+// TestHTTPHardening pins the robustness surface of the handler:
+// oversized bodies, malformed advance requests, idempotent resubmits
+// returning the original response, and readiness gating through the
+// recovery and drain windows.
+func TestHTTPHardening(t *testing.T) {
+	t.Run("oversized body is 413", func(t *testing.T) {
+		srv, _ := newTestServer(t, nil)
+		huge := `{"id":"big","tenant":"acme","spec":{"class":"ep","k":2,"seed":1},"pad":"` +
+			strings.Repeat("x", 2<<20) + `"}`
+		if code := do(t, "POST", srv.URL+"/v1/jobs", huge, nil); code != http.StatusRequestEntityTooLarge {
+			t.Errorf("2MiB submit: status %d, want 413", code)
+		}
+		if code := do(t, "POST", srv.URL+"/v1/advance", strings.Repeat(" ", 2<<20)+`{"to":1}`, nil); code != http.StatusRequestEntityTooLarge {
+			t.Errorf("2MiB advance: status %d, want 413", code)
+		}
+	})
+
+	t.Run("malformed advance bodies", func(t *testing.T) {
+		srv, _ := newTestServer(t, nil)
+		for _, body := range []string{
+			``, `nope`, `{"to":"five"}`, `{"to":5,"nope":1}`, `{"to":5}{"to":6}`, `{"to":-1}`,
+		} {
+			if code := do(t, "POST", srv.URL+"/v1/advance", body, nil); code != http.StatusBadRequest {
+				t.Errorf("advance %q: status %d, want 400", body, code)
+			}
+		}
+	})
+
+	t.Run("idempotent resubmit returns original response", func(t *testing.T) {
+		srv, _ := newTestServer(t, nil)
+		var orig JobStatus
+		if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), &orig); code != http.StatusCreated {
+			t.Fatalf("submit: %d", code)
+		}
+		// State moves on; the replayed admission response must not.
+		if code := do(t, "POST", srv.URL+"/v1/advance", `{"drain":true}`, nil); code != http.StatusOK {
+			t.Fatal("drain failed")
+		}
+		var again JobStatus
+		if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), &again); code != http.StatusOK {
+			t.Fatalf("identical resubmit: %d, want 200", code)
+		}
+		if again != orig {
+			t.Errorf("resubmit returned %+v, original admission was %+v", again, orig)
+		}
+	})
+
+	t.Run("unready until recovery", func(t *testing.T) {
+		c := newTestCore(t, nil)
+		h := NewHandler(c, StartUnready())
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		if code := do(t, "GET", srv.URL+"/readyz", "", nil); code != http.StatusServiceUnavailable {
+			t.Errorf("readyz before recovery: %d, want 503", code)
+		}
+		if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), nil); code != http.StatusServiceUnavailable {
+			t.Errorf("submit before recovery: %d, want 503", code)
+		}
+		// Reads stay up throughout.
+		if code := do(t, "GET", srv.URL+"/v1/jobs", "", nil); code != http.StatusOK {
+			t.Errorf("list before recovery: %d, want 200", code)
+		}
+		if err := h.Recover(nil); err != nil {
+			t.Fatal(err)
+		}
+		if code := do(t, "GET", srv.URL+"/readyz", "", nil); code != http.StatusOK {
+			t.Errorf("readyz after recovery: %d, want 200", code)
+		}
+		if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), nil); code != http.StatusCreated {
+			t.Errorf("submit after recovery: %d, want 201", code)
+		}
+	})
+
+	t.Run("drain refuses mutations, serves reads", func(t *testing.T) {
+		srv, _ := newTestServer(t, nil)
+		h := srvHandler(t, srv)
+		if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody("j0", "acme", 1), nil); code != http.StatusCreated {
+			t.Fatalf("submit: %d", code)
+		}
+		h.StartDrain()
+		if !h.Draining() {
+			t.Fatal("Draining() false after StartDrain")
+		}
+		if code := do(t, "GET", srv.URL+"/readyz", "", nil); code != http.StatusServiceUnavailable {
+			t.Errorf("readyz while draining: %d, want 503", code)
+		}
+		for _, tc := range []struct{ method, path, body string }{
+			{"POST", "/v1/jobs", submitBody("j1", "acme", 2)},
+			{"DELETE", "/v1/jobs/j0", ""},
+			{"POST", "/v1/advance", `{"to":5}`},
+		} {
+			if code := do(t, tc.method, srv.URL+tc.path, tc.body, nil); code != http.StatusServiceUnavailable {
+				t.Errorf("%s %s while draining: %d, want 503", tc.method, tc.path, code)
+			}
+		}
+		if code := do(t, "GET", srv.URL+"/v1/jobs/j0", "", nil); code != http.StatusOK {
+			t.Errorf("status read while draining: %d, want 200", code)
+		}
+		if code := do(t, "GET", srv.URL+"/healthz", "", nil); code != http.StatusOK {
+			t.Errorf("healthz while draining: %d, want 200", code)
+		}
+	})
+
+	t.Run("shed submit carries Retry-After", func(t *testing.T) {
+		srv, _ := newTestServer(t, func(c *Config) { c.MaxBacklogTasks = 4 })
+		var resp *http.Response
+		for i := int64(0); i < 8; i++ {
+			r, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+				strings.NewReader(submitBody(fmt.Sprintf("j%d", i), "flood", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			if r.StatusCode == http.StatusTooManyRequests {
+				resp = r
+				break
+			}
+			if r.StatusCode != http.StatusCreated {
+				t.Fatalf("submit %d: status %d", i, r.StatusCode)
+			}
+		}
+		if resp == nil {
+			t.Fatal("8 submits over a 4-task backlog bound never shed")
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+			t.Errorf("shed response Retry-After = %q, want a positive delay", ra)
+		}
+	})
+}
+
+// srvHandler digs the Handler back out of a test server.
+func srvHandler(t *testing.T, srv *httptest.Server) *Handler {
+	t.Helper()
+	h, ok := srv.Config.Handler.(*Handler)
+	if !ok {
+		t.Fatalf("test server handler is %T", srv.Config.Handler)
+	}
+	return h
+}
+
+// TestHTTPJournalRoundTrip serves with a journal attached and proves a
+// "crashed" server (journal abandoned, state dropped) restarts to the
+// same fingerprint over the wire.
+func TestHTTPJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*Handler, *httptest.Server) {
+		jn, recs, _, err := OpenJournal(dir, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { jn.Close() })
+		c := newTestCore(t, nil)
+		h := NewHandler(c, WithJournal(jn), StartUnready())
+		if err := h.Recover(recs); err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		return h, srv
+	}
+
+	_, srv := open()
+	for i := int64(0); i < 3; i++ {
+		if code := do(t, "POST", srv.URL+"/v1/jobs", submitBody(fmt.Sprintf("j%d", i), "acme", i), nil); code != http.StatusCreated {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+	}
+	if code := do(t, "POST", srv.URL+"/v1/advance", `{"to":4}`, nil); code != http.StatusOK {
+		t.Fatal("advance failed")
+	}
+	var before map[string]any
+	if code := do(t, "GET", srv.URL+"/v1/fingerprint", "", &before); code != http.StatusOK {
+		t.Fatal("fingerprint failed")
+	}
+	srv.Close() // abandon without drain: the journal is the only survivor
+
+	_, srv2 := open()
+	var after map[string]any
+	if code := do(t, "GET", srv2.URL+"/v1/fingerprint", "", &after); code != http.StatusOK {
+		t.Fatal("fingerprint after restart failed")
+	}
+	if before["fingerprint"] != after["fingerprint"] || before["fingerprint"] == "" {
+		t.Errorf("fingerprint across restart: %v then %v", before["fingerprint"], after["fingerprint"])
+	}
+	if before["ops"] != after["ops"] {
+		t.Errorf("journal depth across restart: %v then %v", before["ops"], after["ops"])
 	}
 }
 

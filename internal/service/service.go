@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 	"fhs/internal/obs"
 	"fhs/internal/workload"
 )
@@ -51,6 +52,18 @@ var (
 	ErrJobCancelled = errors.New("job already cancelled")
 	// ErrTimeTravel marks an AdvanceTo target before the current clock.
 	ErrTimeTravel = errors.New("advance target before current time")
+	// ErrJobFailed marks a cancel of a job that already failed (a task
+	// exhausted its retry budget under fault churn).
+	ErrJobFailed = errors.New("job failed")
+	// ErrOverloaded marks a submit shed by the bounded admission
+	// backlog. The API layer maps it to 429 with a Retry-After derived
+	// from Core.RetryAfter.
+	ErrOverloaded = errors.New("overloaded")
+	// ErrIdempotentReplay marks a submit whose ID already exists with a
+	// byte-identical request: the returned JobStatus is the original
+	// admission response, and the op had no effect. The API layer maps
+	// it to 200 with that original response.
+	ErrIdempotentReplay = errors.New("idempotent replay")
 )
 
 // Config describes one service core.
@@ -81,6 +94,21 @@ type Config struct {
 	// Metrics aggregates core and per-tenant counters and the
 	// queueing-delay histograms. Nil disables.
 	Metrics *obs.Registry
+	// Faults drives live processor churn: the plan's capacity timeline
+	// makes the per-pool capacity a step function of simulated time,
+	// killing resident tasks when capacity drops (retried up to
+	// MaxRetries; exhaustion fails the job). Transient completion
+	// failures (FailureProb) are not supported in the service core —
+	// the fault coin keys on task IDs, which collide across jobs. Nil
+	// keeps the machine reliable.
+	Faults *fault.Plan
+	// MaxBacklogTasks bounds the machine-wide backlog (queued plus
+	// running tasks). When the backlog has reached the bound, a submit
+	// from a tenant already holding at least its 1/activeTenants share
+	// of the bound is shed with ErrOverloaded; tenants under their
+	// share are always admitted, so one flooding tenant cannot lock
+	// others out. 0 disables shedding.
+	MaxBacklogTasks int
 }
 
 func (c *Config) validate() error {
@@ -91,6 +119,17 @@ func (c *Config) validate() error {
 		if n <= 0 {
 			return fmt.Errorf("service: pool %d has %d processors, want > 0", a, n)
 		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Procs); err != nil {
+			return err
+		}
+		if c.Faults.FailureProb != 0 {
+			return fmt.Errorf("service: transient completion failures are not supported (the fault coin keys on task IDs, which collide across jobs)")
+		}
+	}
+	if c.MaxBacklogTasks < 0 {
+		return fmt.Errorf("service: negative backlog bound %d", c.MaxBacklogTasks)
 	}
 	return nil
 }
@@ -180,6 +219,10 @@ const (
 	// StateCancelled marks a cancelled job. Tasks already on
 	// processors at cancel time still ran to completion.
 	StateCancelled JobState = "cancelled"
+	// StateFailed marks a job retired because one of its tasks
+	// exhausted its retry budget under fault churn. Like cancellation,
+	// its queued tasks were retracted.
+	StateFailed JobState = "failed"
 )
 
 // JobStatus is the externally visible snapshot of one job.
@@ -204,6 +247,10 @@ type TenantSummary struct {
 	Done      int    `json:"done"`
 	Cancelled int    `json:"cancelled"`
 	Rejected  int    `json:"rejected"`
+	// Shed counts submits refused by the bounded admission backlog.
+	Shed int `json:"shed,omitempty"`
+	// Failed counts jobs retired by retry-budget exhaustion.
+	Failed int `json:"failed,omitempty"`
 	// WeightedCompletion is Σ weight·C over the tenant's done jobs —
 	// the Σ wC objective of the paper, reported per tenant.
 	WeightedCompletion float64 `json:"weighted_completion"`
@@ -213,10 +260,17 @@ type TenantSummary struct {
 
 // Summary is the service-wide outcome snapshot.
 type Summary struct {
-	Now       int64           `json:"now"`
-	Jobs      int             `json:"jobs"`
-	Done      int             `json:"done"`
-	Cancelled int             `json:"cancelled"`
-	Tasks     int64           `json:"tasks_completed"`
-	Tenants   []TenantSummary `json:"tenants"`
+	Now       int64 `json:"now"`
+	Jobs      int   `json:"jobs"`
+	Done      int   `json:"done"`
+	Cancelled int   `json:"cancelled"`
+	// Failed counts jobs retired by retry-budget exhaustion under
+	// fault churn.
+	Failed int   `json:"failed,omitempty"`
+	Tasks  int64 `json:"tasks_completed"`
+	// Kills counts tasks killed mid-execution by capacity drops;
+	// WastedWork is the processor time those executions had consumed.
+	Kills      int64           `json:"kills,omitempty"`
+	WastedWork int64           `json:"wasted_work,omitempty"`
+	Tenants    []TenantSummary `json:"tenants"`
 }

@@ -222,6 +222,7 @@ type ReplayResult struct {
 	Stream []StreamJobInfo
 
 	Submitted, Rejected     int
+	Shed, Replays           int
 	Cancelled, CancelMisses int
 }
 
@@ -272,6 +273,10 @@ func Replay(cfg Config, ops []Op) (*ReplayResult, error) {
 				res.Submitted++
 			case errors.Is(err, ErrQuotaExceeded):
 				res.Rejected++
+			case errors.Is(err, ErrOverloaded):
+				res.Shed++
+			case errors.Is(err, ErrIdempotentReplay):
+				res.Replays++
 			default:
 				return nil, fmt.Errorf("service: op %d: %w", i, err)
 			}
@@ -280,9 +285,11 @@ func Replay(cfg Config, ops []Op) (*ReplayResult, error) {
 			switch {
 			case err == nil:
 				res.Cancelled++
-			case errors.Is(err, ErrJobDone), errors.Is(err, ErrJobCancelled), errors.Is(err, ErrUnknownJob):
+			case errors.Is(err, ErrJobDone), errors.Is(err, ErrJobCancelled),
+				errors.Is(err, ErrJobFailed), errors.Is(err, ErrUnknownJob):
 				// Traced cancels can land after completion, after an
-				// earlier cancel, or target a quota-rejected submit.
+				// earlier cancel or failure, or target a rejected
+				// submit.
 				res.CancelMisses++
 			default:
 				return nil, fmt.Errorf("service: op %d: %w", i, err)

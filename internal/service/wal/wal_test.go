@@ -1,0 +1,384 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// payloadN builds a distinguishable single-line payload.
+func payloadN(i int) []byte {
+	return []byte(fmt.Sprintf(`{"op":"submit","i":%d,"pad":"xxxxxxxxxxxxxxxx"}`, i))
+}
+
+// openT opens a log in dir, failing the test on error.
+func openT(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+// appendN appends payloads i in [from, to).
+func appendN(t *testing.T, l *Log, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := l.Append(payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// wantPayloads asserts the recovery holds exactly payloads 0..n-1.
+func wantPayloads(t *testing.T, rec *Recovery, n int) {
+	t.Helper()
+	if len(rec.Payloads) != n {
+		t.Fatalf("recovered %d payloads, want %d", len(rec.Payloads), n)
+	}
+	for i, p := range rec.Payloads {
+		if !bytes.Equal(p, payloadN(i)) {
+			t.Fatalf("payload %d is %q, want %q", i, p, payloadN(i))
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		[]byte("{}"),
+		[]byte(`{"op":"submit","id":"j0"}`),
+		[]byte(""),
+		bytes.Repeat([]byte("x"), 4096),
+	} {
+		frame, err := EncodeFrame(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[len(frame)-1] != '\n' {
+			t.Fatal("frame does not end in a newline")
+		}
+		got, err := DecodeFrame(frame[:len(frame)-1])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip got %q, want %q", got, payload)
+		}
+	}
+}
+
+func TestFrameRejectsLineBreaks(t *testing.T) {
+	for _, payload := range [][]byte{[]byte("a\nb"), []byte("a\rb")} {
+		if _, err := EncodeFrame(payload); err == nil {
+			t.Errorf("EncodeFrame(%q): no error", payload)
+		}
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	frame, err := EncodeFrame([]byte(`{"op":"cancel","id":"j1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := frame[:len(frame)-1]
+	for bit := 0; bit < len(line)*8; bit += 7 {
+		mutated := append([]byte(nil), line...)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		if bytes.Equal(mutated, line) {
+			continue
+		}
+		if _, err := DecodeFrame(mutated); err == nil {
+			t.Fatalf("flipping bit %d went undetected", bit)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	for _, fsync := range []Policy{FsyncAlways, FsyncBatch, FsyncOff} {
+		t.Run(string(fsync), func(t *testing.T) {
+			dir := t.TempDir()
+			l, rec := openT(t, dir, Options{Fsync: fsync, BatchEvery: 4})
+			wantPayloads(t, rec, 0)
+			appendN(t, l, 0, 25)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, rec2 := openT(t, dir, Options{Fsync: fsync})
+			wantPayloads(t, rec2, 25)
+			if rec2.TruncatedBytes != 0 {
+				t.Errorf("clean shutdown truncated %d bytes", rec2.TruncatedBytes)
+			}
+		})
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 256})
+	appendN(t, l, 0, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), segPrefix) {
+			segs++
+		}
+	}
+	if segs < 3 {
+		t.Fatalf("40 appends over 256-byte segments produced %d segments, want >= 3", segs)
+	}
+	_, rec := openT(t, dir, Options{})
+	wantPayloads(t, rec, 40)
+	if rec.Segments != segs {
+		t.Errorf("recovery read %d segments, dir holds %d", rec.Segments, segs)
+	}
+}
+
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 256})
+	appendN(t, l, 0, 30)
+	history := make([][]byte, 30)
+	for i := range history {
+		history[i] = payloadN(i)
+	}
+	if err := l.Snapshot(history); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction removed the covered segments.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, segs := 0, 0
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), snapPrefix):
+			snaps++
+		case strings.HasPrefix(e.Name(), segPrefix):
+			segs++
+		}
+	}
+	if snaps != 1 || segs != 1 {
+		t.Fatalf("after snapshot: %d snapshots and %d segments, want 1 and 1 (the fresh live segment)", snaps, segs)
+	}
+	// Appends continue after the snapshot; recovery stitches both.
+	appendN(t, l, 30, 45)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	wantPayloads(t, rec, 45)
+	if rec.SnapshotFrames != 30 {
+		t.Errorf("recovery found %d snapshot frames, want 30", rec.SnapshotFrames)
+	}
+
+	// A second snapshot supersedes the first.
+	l2, _ := openT(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 256})
+	history = history[:0]
+	for i := 0; i < 45; i++ {
+		history = append(history, payloadN(i))
+	}
+	if err := l2.Snapshot(history); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec = openT(t, dir, Options{})
+	wantPayloads(t, rec, 45)
+	if rec.SnapshotFrames != 45 {
+		t.Errorf("second snapshot: recovery found %d snapshot frames, want 45", rec.SnapshotFrames)
+	}
+}
+
+// TestTornTailTruncated cuts the last segment at every byte position:
+// recovery must return the longest valid frame prefix, physically
+// truncate the garbage, and leave the log appendable.
+func TestTornTailTruncated(t *testing.T) {
+	// Build a reference log once to learn the segment bytes.
+	ref := t.TempDir()
+	l, _ := openT(t, ref, Options{Fsync: FsyncOff})
+	appendN(t, l, 0, 6)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg1 := filepath.Join(ref, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries: offsets where a cut loses only whole frames.
+	bounds := map[int64]int{0: 0}
+	off, count := int64(0), 0
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		off += int64(len(line))
+		count++
+		bounds[off] = count
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec := openT(t, dir, Options{Fsync: FsyncOff})
+		// Expected survivors: the number of whole frames before the cut.
+		want := 0
+		for b, n := range bounds {
+			if b <= int64(cut) && n > want {
+				want = n
+			}
+		}
+		if len(rec.Payloads) != want {
+			t.Fatalf("cut=%d: recovered %d payloads, want %d", cut, len(rec.Payloads), want)
+		}
+		if _, ok := bounds[int64(cut)]; !ok && rec.TruncatedBytes == 0 {
+			t.Fatalf("cut=%d: mid-frame cut reported no truncation", cut)
+		}
+		// The log must remain appendable and a second recovery must be
+		// clean (the tail was physically truncated).
+		if err := l2.Append(payloadN(99)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, rec2 := openT(t, dir, Options{})
+		if rec2.TruncatedBytes != 0 {
+			t.Fatalf("cut=%d: second recovery still truncates %d bytes", cut, rec2.TruncatedBytes)
+		}
+		if len(rec2.Payloads) != want+1 {
+			t.Fatalf("cut=%d: second recovery holds %d payloads, want %d", cut, len(rec2.Payloads), want+1)
+		}
+	}
+}
+
+// TestCorruptTailBitFlip flips a byte inside the last frame: recovery
+// truncates at the bad frame.
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 0, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	last := lines[len(lines)-2] // SplitAfter leaves a trailing empty slice
+	data[len(data)-len(last)+12] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	wantPayloads(t, rec, 4)
+	if rec.TruncatedBytes != int64(len(last)) {
+		t.Errorf("truncated %d bytes, want the %d-byte corrupt frame", rec.TruncatedBytes, len(last))
+	}
+}
+
+// TestInteriorCorruptionRefused: a bad frame in a non-tail segment is
+// unrecoverable corruption, not a torn tail.
+func TestInteriorCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 128})
+	appendN(t, l, 0, 20) // several segments
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior corruption: error %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLeftoverTmpIgnored: a snapshot interrupted before rename leaves
+// a .tmp file that recovery removes and ignores.
+func TestLeftoverTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 0, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, snapName(1)+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	wantPayloads(t, rec, 3)
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Error("leftover tmp snapshot not removed")
+	}
+}
+
+// TestStaleSegmentsAfterSnapshotRename: a crash between snapshot
+// rename and compaction leaves covered segments behind; recovery must
+// not replay them twice.
+func TestStaleSegmentsAfterSnapshotRename(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 128})
+	appendN(t, l, 0, 10)
+	history := make([][]byte, 10)
+	for i := range history {
+		history[i] = payloadN(i)
+	}
+	if err := l.Snapshot(history); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate a stale covered segment, as if compaction never ran.
+	stale, err := EncodeFrame(payloadN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	wantPayloads(t, rec, 10)
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale covered segment not removed")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"always": FsyncAlways, "batch": FsyncBatch, "off": FsyncOff, "": FsyncBatch,
+	} {
+		got, err := PolicyByName(name)
+		if err != nil || got != want {
+			t.Errorf("PolicyByName(%q) = (%q, %v), want %q", name, got, err, want)
+		}
+	}
+	if _, err := PolicyByName("sometimes"); err == nil {
+		t.Error("PolicyByName accepted an unknown policy")
+	}
+}

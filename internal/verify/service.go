@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fhs/internal/dag"
+	"fhs/internal/fault"
 	"fhs/internal/obs"
 )
 
@@ -38,6 +39,16 @@ type StreamAudit struct {
 	// start's tenant must minimize (service, name) among tenants with
 	// ready max-priority candidates on the pool.
 	FairShare bool
+	// Timeline declares the capacity step function Pα(t) of a churned
+	// machine. When set, starts are audited against the live capacity,
+	// capacity events must match the timeline, and kills must be
+	// justified by an over-capacity pool. Nil audits a reliable
+	// machine and forbids kill and capacity events outright.
+	Timeline *fault.Timeline
+	// MaxRetries is the per-task retry budget under churn: a task may
+	// be killed at most MaxRetries+1 times (the budget-exhausting kill
+	// retires its whole job, which the stream shows as a retraction).
+	MaxRetries int
 }
 
 func (a *StreamAudit) quota(tenant string) int {
@@ -64,8 +75,14 @@ const (
 //   - times never run backwards;
 //   - each declared job is released exactly once, in admission order,
 //     and every lifecycle event references a released job;
-//   - capacity: a pool never runs more tasks than it has processors,
-//     and every task runs on its own type's pool;
+//   - capacity: a pool never runs more tasks than its live capacity
+//     (the declared timeline's Pα(t) under churn, the static pool size
+//     otherwise), and every task runs on its own type's pool;
+//   - churn (when a timeline is declared): every capacity event
+//     matches the timeline, every kill hits a running task on an
+//     over-capacity pool, a killed task re-enters the ready set (or is
+//     retracted with its cancelled job), and no task is killed more
+//     than MaxRetries+1 times;
 //   - precedence and conservation: a task starts only with all parents
 //     finished, starts at most once, and finishes exactly at
 //     start + work (the machines are non-preemptive);
@@ -88,6 +105,19 @@ func AuditServiceStream(a StreamAudit, events []obs.Event) error {
 		}
 	}
 	k := len(a.Procs)
+	if a.Timeline != nil {
+		if err := a.Timeline.Validate(a.Procs); err != nil {
+			return fmt.Errorf("verify: stream audit timeline: %w", err)
+		}
+	}
+	// capAt is the live capacity the running-count invariant holds
+	// against at any instant.
+	capAt := func(pool int64, t int64) int {
+		if a.Timeline == nil {
+			return a.Procs[pool]
+		}
+		return a.Timeline.CapAt(dag.Type(pool), t)
+	}
 	jobs := make(map[int64]*StreamJob, len(a.Jobs))
 	for i := range a.Jobs {
 		j := &a.Jobs[i]
@@ -112,11 +142,21 @@ func AuditServiceStream(a StreamAudit, events []obs.Event) error {
 	finished := make(map[int64]int, len(a.Jobs))         // per job: finished tasks
 	released := make(map[int64]bool, len(a.Jobs))
 	cancelled := make(map[int64]bool, len(a.Jobs))
-	running := make([]int, k)        // per pool
-	liveJobs := make(map[string]int) // per tenant
+	kills := make(map[int64][]int, len(a.Jobs)) // per job, per task
+	running := make([]int, k)                   // per pool
+	liveJobs := make(map[string]int)            // per tenant
 	service := make(map[string]float64)
 	nextRelease := int64(0)
 	var now int64
+
+	// Breakpoints are checked once the stream moves past them: by
+	// then every kill at the breakpoint instant has been applied, so
+	// no pool may still exceed its stepped capacity.
+	var bps []int64
+	bpi := 0
+	if a.Timeline != nil {
+		bps = a.Timeline.Times()
+	}
 
 	for i, e := range events {
 		if err := e.Validate(); err != nil {
@@ -124,6 +164,15 @@ func AuditServiceStream(a StreamAudit, events []obs.Event) error {
 		}
 		if e.Time < now {
 			return fmt.Errorf("verify: stream event %d (%s) at t=%d after t=%d", i, e.Kind, e.Time, now)
+		}
+		for bpi < len(bps) && bps[bpi] < e.Time {
+			for pool := range running {
+				if c := a.Timeline.CapAt(dag.Type(pool), bps[bpi]); running[pool] > c {
+					return fmt.Errorf("verify: t=%d pool %d still runs %d tasks past the capacity-%d breakpoint",
+						bps[bpi], pool, running[pool], c)
+				}
+			}
+			bpi++
 		}
 		now = e.Time
 		switch e.Kind {
@@ -199,8 +248,9 @@ func AuditServiceStream(a StreamAudit, events []obs.Event) error {
 			case taskRetracted:
 				return fmt.Errorf("verify: t=%d job %d task %d starts after leaving the queues", now, e.Job, e.Task)
 			}
-			if running[e.Type]++; running[e.Type] > a.Procs[e.Type] {
-				return fmt.Errorf("verify: t=%d pool %d runs %d tasks on %d processors", now, e.Type, running[e.Type], a.Procs[e.Type])
+			running[e.Type]++
+			if cap := capAt(e.Type, now); running[e.Type] > cap {
+				return fmt.Errorf("verify: t=%d pool %d runs %d tasks on capacity %d", now, e.Type, running[e.Type], cap)
 			}
 			if err := auditStreamPick(a, state, released, cancelled, service, j, task, e.Type); err != nil {
 				return fmt.Errorf("verify: t=%d: %w", now, err)
@@ -240,7 +290,52 @@ func AuditServiceStream(a StreamAudit, events []obs.Event) error {
 				liveJobs[j.Tenant]--
 			}
 
-		case obs.KindPreempt, obs.KindKill, obs.KindFail:
+		case obs.KindCapacity:
+			if a.Timeline == nil {
+				return fmt.Errorf("verify: stream event %d: capacity event without a declared timeline", i)
+			}
+			if e.Type < 0 || e.Type >= int64(k) {
+				return fmt.Errorf("verify: stream event %d: capacity event for pool %d of %d", i, e.Type, k)
+			}
+			if want := int64(a.Timeline.CapAt(dag.Type(e.Type), now)); e.Arg != want {
+				return fmt.Errorf("verify: t=%d pool %d declares capacity %d, timeline says %d", now, e.Type, e.Arg, want)
+			}
+
+		case obs.KindKill:
+			if a.Timeline == nil {
+				return fmt.Errorf("verify: stream event %d: kill on a reliable machine", i)
+			}
+			j, ok := jobs[e.Job]
+			if !ok || !released[e.Job] {
+				return fmt.Errorf("verify: event %d kills a task of unreleased job %d", i, e.Job)
+			}
+			task := dag.TaskID(e.Task)
+			if e.Task >= int64(j.Graph.NumTasks()) || state[e.Job][task] != taskRunning {
+				return fmt.Errorf("verify: t=%d job %d task %d killed without running", now, e.Job, e.Task)
+			}
+			// A kill must be justified: its pool is over the live
+			// capacity at this instant.
+			if cap := capAt(e.Type, now); running[e.Type] <= cap {
+				return fmt.Errorf("verify: t=%d pool %d kills with %d running on capacity %d", now, e.Type, running[e.Type], cap)
+			}
+			running[e.Type]--
+			if kills[e.Job] == nil {
+				kills[e.Job] = make([]int, j.Graph.NumTasks())
+			}
+			kills[e.Job][task]++
+			if kills[e.Job][task] > a.MaxRetries+1 {
+				return fmt.Errorf("verify: t=%d job %d task %d killed %d times over retry budget %d",
+					now, e.Job, e.Task, kills[e.Job][task], a.MaxRetries)
+			}
+			if cancelled[e.Job] {
+				// The job is already retired; its killed task is gone.
+				state[e.Job][task] = taskRetracted
+			} else {
+				// The task re-enters the ready set with full work.
+				state[e.Job][task] = taskReady
+			}
+
+		case obs.KindPreempt, obs.KindFail:
 			return fmt.Errorf("verify: stream event %d: %s has no place in a service stream", i, e.Kind)
 		}
 	}
