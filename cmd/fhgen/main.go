@@ -10,7 +10,8 @@
 //	fhgen -class ep|tree|ir|adversarial|figure1 [-typing layered|random]
 //	      [-k K] [-seed S] [-format json|dot] [-m M] [-procs P1,P2,...]
 //	      [-o FILE]
-//	fhgen -arrivals N [-tenants name:W,...] [-mean-gap G] [-cancel F]
+//	fhgen -arrivals N [-shape uniform|poisson|pareto|diurnal|burst]
+//	      [-tenants name:W,...] [-mean-gap G] [-cancel F]
 //	      [-priorities P] [-class C] [-k K] [-seed S] [-o FILE]
 //
 // Examples:
@@ -19,6 +20,13 @@
 //	fhgen -class tree -format dot | dot -Tpng > tree.png
 //	fhgen -class adversarial -procs 3,3,3,3 -m 4 > bad.json
 //	fhgen -arrivals 20 -tenants acme:2,blob:1 -k 2 -cancel 0.2 > trace.jsonl
+//	fhgen -arrivals 200 -shape pareto -k 2 -seed 11 > bursty.jsonl
+//
+// The arrival-trace JSONL schema (one service.Op per line) is
+// documented in one place: on service.Op in internal/service/trace.go.
+// Shapes other than the uniform default are documented on the
+// internal/load shape constants; fhload consumes these traces
+// unchanged via -trace.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"strings"
 
 	"fhs/internal/dag"
+	"fhs/internal/load"
 	"fhs/internal/service"
 	"fhs/internal/workload"
 )
@@ -50,6 +59,7 @@ func main() {
 		out    = flag.String("o", "", "output file (default stdout)")
 
 		arrivals   = flag.Int("arrivals", 0, "emit an fhd arrival trace with this many job submits instead of one graph")
+		shape      = flag.String("shape", "uniform", "arrival-trace gap shape: uniform, poisson, pareto, diurnal or burst")
 		tenants    = flag.String("tenants", "", "arrival-trace tenants as name:weight pairs, e.g. acme:2,blob:1")
 		meanGap    = flag.Int64("mean-gap", 4, "arrival-trace mean inter-arrival gap")
 		cancelFrac = flag.Float64("cancel", 0, "arrival-trace fraction of jobs cancelled later")
@@ -60,7 +70,7 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	if *arrivals > 0 {
 		if err := generateArrivals(*out, genArrivalsConfig{
-			jobs: *arrivals, tenants: *tenants, meanGap: *meanGap,
+			jobs: *arrivals, shape: *shape, tenants: *tenants, meanGap: *meanGap,
 			cancelFrac: *cancelFrac, priorities: *priorities,
 			class: *class, k: *k, seedBase: *seed,
 		}, rng); err != nil {
@@ -104,6 +114,7 @@ func main() {
 
 type genArrivalsConfig struct {
 	jobs       int
+	shape      string
 	tenants    string
 	meanGap    int64
 	cancelFrac float64
@@ -128,7 +139,8 @@ func generateArrivals(out string, gc genArrivalsConfig, rng *rand.Rand) error {
 		}
 		classes = []string{gc.class}
 	}
-	ops, err := service.GenerateTrace(service.GenConfig{
+	ops, err := load.Synthesize(load.TraceConfig{
+		Shape:          gc.shape,
 		Jobs:           gc.jobs,
 		Tenants:        specs,
 		MeanGap:        gc.meanGap,

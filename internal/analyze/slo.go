@@ -1,0 +1,62 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fhs/internal/load"
+)
+
+// WriteSLO renders a load.Report as the human summary fhload prints:
+// the workload identity line, the global outcome, and one row per
+// tenant with latency percentiles and SLO attainment. Tenants arrive
+// sorted (the report inherits the service summary's order), so output
+// is stable for tests and diffs.
+func WriteSLO(w io.Writer, rep *load.Report) error {
+	if _, err := fmt.Fprintf(w, "load run: shape=%s seed=%d jobs=%d gap=%d procs=%v sched=%s mode=%s\n",
+		rep.Shape, rep.Seed, rep.Jobs, rep.MeanGap, rep.Procs, rep.Scheduler, rep.Mode); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "makespan %d  submitted %d  done %d  shed %d (%.1f%%)  rejected %d  cancelled %d  failed %d  decisions %d\n",
+		rep.Makespan, rep.Submitted, rep.Done, rep.Shed, rep.ShedRate*100,
+		rep.Rejected, rep.Cancelled, rep.Failed, rep.Decisions); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "queue delay p50/p99/p999 %d/%d/%d  flow p50/p99/p999 %d/%d/%d\n",
+		rep.QueueDelay.P50, rep.QueueDelay.P99, rep.QueueDelay.P999,
+		rep.Flow.P50, rep.Flow.P99, rep.Flow.P999); err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tadm\tdone\tshed\trej\tqd p50/p99\tflow p50/p99\tbudget\tattain\tslo")
+	for i := range rep.Tenants {
+		t := &rep.Tenants[i]
+		budget, attain, slo := "-", "-", "-"
+		if t.SLOMet != nil {
+			budget = fmt.Sprintf("%d", t.FlowBudget)
+			attain = fmt.Sprintf("%.3f/%.2f", t.Attainment, t.Target)
+			if *t.SLOMet {
+				slo = "met"
+			} else {
+				slo = "MISSED"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d/%d\t%d/%d\t%s\t%s\t%s\n",
+			t.Tenant, t.Admitted, t.Done, t.Shed, t.Rejected,
+			t.QueueDelay.P50, t.QueueDelay.P99, t.Flow.P50, t.Flow.P99,
+			budget, attain, slo)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	status := "all objectives met"
+	if !rep.SLOMet {
+		status = "OBJECTIVES MISSED"
+	}
+	_, err := fmt.Fprintf(w, "%s  fingerprint %.16s...  (%.2fs wall, %.0f ops/s, %.0f decisions/s)\n",
+		status, rep.Fingerprint, rep.ElapsedSec, rep.OpsPerSec, rep.DecisionsPerSec)
+	return err
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fhs/internal/load"
+	"fhs/internal/service"
+)
+
+// loadSoakBench measures one full fhload drive per op: a heavy-tailed
+// Pareto arrival trace with cancels against a backlog-capped core —
+// the shape of the CI soak, scaled with the suite. The op covers
+// trace synthesis, the drive loop (including the shed/429 path), and
+// SLO report distillation, so a slowdown anywhere in the load harness
+// moves this entry. The fingerprint folds the report's deterministic
+// outcome: any nondeterminism in the harness shows up as a
+// fingerprint mismatch before it can corrupt a baseline.
+func loadSoakBench(sc Scale) (func() (Fingerprint, error), error) {
+	jobs := 2 * sc.Instances
+	if jobs < 16 {
+		jobs = 16
+	}
+	tc := load.TraceConfig{
+		Shape:      load.ShapePareto,
+		Jobs:       jobs,
+		MeanGap:    6,
+		Tenants:    []service.TenantSpec{{Name: "acme", Weight: 2}, {Name: "blob", Weight: 1}},
+		CancelFrac: 0.1,
+		K:          2,
+		SeedBase:   sc.Seed + 7,
+	}
+	ops, err := load.SynthesizeSeeded(tc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := load.RunConfig{Procs: []int{2, 2}, MaxBacklogTasks: 64}
+	return func() (Fingerprint, error) {
+		rep, err := load.RunOps(cfg, tc, ops)
+		if err != nil {
+			return Fingerprint{}, err
+		}
+		return Fingerprint{
+			Instances: float64(rep.Submitted),
+			Decisions: float64(rep.Decisions),
+			Checksum:  float64(rep.Makespan) + float64(rep.Flow.P99) + rep.ShedRate,
+		}, nil
+	}, nil
+}

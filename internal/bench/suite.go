@@ -29,6 +29,7 @@ func Suite() []Benchmark {
 		{Name: "service/replay-mqb", Setup: serviceReplayBench("MQB")},
 		{Name: "service/replay-kgreedy", Setup: serviceReplayBench("KGreedy")},
 		{Name: "service/wal-append", Setup: walAppendBench},
+		{Name: "load/soak-pareto", Setup: loadSoakBench},
 		{Name: "service/wal-recover", Setup: walRecoverBench},
 		{Name: "core/mqb-pick-wide-ep", Setup: mqbPickBench},
 		{Name: "dag/typed-descendants", Setup: typedDescBench},

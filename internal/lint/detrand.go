@@ -38,6 +38,10 @@ var detrandScope = []string{
 	"fhs/internal/multi",
 	"fhs/internal/opt",
 	"fhs/internal/service",
+	// The load harness is deterministic by contract (reports are
+	// fingerprinted); only its wall-clock throughput stamps may touch
+	// the clock, under reasoned fhlint:ignore suppressions.
+	"fhs/internal/load",
 }
 
 func detrandApplies(pkgPath string) bool {

@@ -1,0 +1,165 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fhs/internal/service"
+)
+
+func baseTC(shape string) TraceConfig {
+	return TraceConfig{
+		Shape:      shape,
+		Jobs:       120,
+		MeanGap:    4,
+		Tenants:    []service.TenantSpec{{Name: "acme", Weight: 2}, {Name: "blob", Weight: 1}},
+		CancelFrac: 0.15,
+		K:          2,
+		SeedBase:   7,
+	}
+}
+
+// TestSynthesizeDeterministic: same seed, same shape, same trace —
+// for every preset.
+func TestSynthesizeDeterministic(t *testing.T) {
+	for _, shape := range Shapes() {
+		a, err := SynthesizeSeeded(baseTC(shape))
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		b, err := SynthesizeSeeded(baseTC(shape))
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", shape)
+		}
+	}
+}
+
+// TestSynthesizeWellFormed: traces are time-sorted, contain exactly
+// Jobs submits, and every cancel lands strictly after its own submit.
+func TestSynthesizeWellFormed(t *testing.T) {
+	for _, shape := range Shapes() {
+		ops, err := SynthesizeSeeded(baseTC(shape))
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		submits := 0
+		submitAt := map[string]int64{}
+		for i, op := range ops {
+			if i > 0 && op.T < ops[i-1].T {
+				t.Fatalf("%s: op %d at t=%d after t=%d", shape, i, op.T, ops[i-1].T)
+			}
+			switch op.Op {
+			case "submit":
+				submits++
+				submitAt[op.ID] = op.T
+			case "cancel":
+				at, ok := submitAt[op.ID]
+				if !ok {
+					t.Fatalf("%s: cancel of %q before its submit", shape, op.ID)
+				}
+				if op.T <= at {
+					t.Fatalf("%s: cancel of %q at t=%d, submitted t=%d", shape, op.ID, op.T, at)
+				}
+			}
+		}
+		if submits != 120 {
+			t.Errorf("%s: %d submits, want 120", shape, submits)
+		}
+	}
+}
+
+// TestUniformMatchesLegacy: the uniform shape must stay byte-identical
+// to service.GenerateTrace so fhgen's existing golden traces and
+// replay fingerprints survive the -shape flag.
+func TestUniformMatchesLegacy(t *testing.T) {
+	tc := baseTC(ShapeUniform)
+	got, err := Synthesize(tc, rand.New(rand.NewSource(tc.SeedBase)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := service.GenerateTrace(service.GenConfig{
+		Jobs: tc.Jobs, Tenants: tc.Tenants, MeanGap: tc.MeanGap,
+		CancelFrac: tc.CancelFrac, Classes: tc.Classes, K: tc.K,
+		Scale: tc.Scale, SeedBase: tc.SeedBase, PriorityLevels: tc.PriorityLevels,
+	}, rand.New(rand.NewSource(tc.SeedBase)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("uniform shape diverged from service.GenerateTrace")
+	}
+}
+
+// TestShapesDiffer: distinct presets with the same seed draw distinct
+// arrival processes (otherwise the flag is theater).
+func TestShapesDiffer(t *testing.T) {
+	shapes := Shapes()
+	seen := map[string]string{}
+	for _, shape := range shapes {
+		ops, err := SynthesizeSeeded(baseTC(shape))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for _, op := range ops[:20] {
+			sig += string(rune(op.T%93 + 33))
+		}
+		if prev, dup := seen[sig]; dup {
+			t.Errorf("shapes %s and %s produced identical arrival prefixes", prev, shape)
+		}
+		seen[sig] = shape
+	}
+}
+
+// TestShapeMeansRoughlyHold: every preset's empirical mean gap should
+// land near the configured MeanGap (the modulated shapes conserve
+// total mass by construction). Wide tolerance — this guards against
+// unit mistakes, not statistics.
+func TestShapeMeansRoughlyHold(t *testing.T) {
+	for _, shape := range Shapes() {
+		tc := baseTC(shape)
+		tc.Jobs = 4000
+		tc.CancelFrac = 0
+		if shape == ShapePareto {
+			tc.ParetoAlpha = 2.5 // tame the tail so 4000 samples converge
+		}
+		ops, err := SynthesizeSeeded(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := ops[len(ops)-1].T
+		mean := float64(last) / float64(tc.Jobs)
+		if math.Abs(mean-float64(tc.MeanGap)) > 0.5*float64(tc.MeanGap) {
+			t.Errorf("%s: empirical mean gap %.2f, configured %d", shape, mean, tc.MeanGap)
+		}
+	}
+}
+
+// TestTraceConfigValidation: the rejection matrix.
+func TestTraceConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*TraceConfig)
+	}{
+		{"zero jobs", func(tc *TraceConfig) { tc.Jobs = 0 }},
+		{"zero k", func(tc *TraceConfig) { tc.K = 0 }},
+		{"bad shape", func(tc *TraceConfig) { tc.Shape = "lognormal" }},
+		{"cancel frac", func(tc *TraceConfig) { tc.CancelFrac = 1.5 }},
+		{"pareto alpha", func(tc *TraceConfig) { tc.Shape = ShapePareto; tc.ParetoAlpha = 1 }},
+		{"diurnal amplitude", func(tc *TraceConfig) { tc.Shape = ShapeDiurnal; tc.Amplitude = 1 }},
+		{"burst duty", func(tc *TraceConfig) { tc.Shape = ShapeBurst; tc.Duty = 1 }},
+		{"burst mass", func(tc *TraceConfig) { tc.Shape = ShapeBurst; tc.Duty = 0.5; tc.BurstFactor = 3 }},
+	}
+	for _, c := range cases {
+		tc := baseTC(ShapePoisson)
+		c.mut(&tc)
+		if _, err := SynthesizeSeeded(tc); err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}

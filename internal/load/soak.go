@@ -1,0 +1,47 @@
+package load
+
+import "fhs/internal/service"
+
+// The ci soak pins one complete workload — shape, seed, scale,
+// machine, admission config and objectives — under a single name, so
+// the committed SLO_CI.json baseline gates every runner and both
+// drive modes. Changing any constant here changes the workload
+// identity: re-bless the baseline in the same commit.
+const (
+	// CISoakMaxBacklog is tight enough that the Pareto bursts overrun
+	// it, so the CI soak exercises the shed/429 path every run.
+	CISoakMaxBacklog = 64
+)
+
+// CISoakProcs returns the pinned ci soak machine (fresh slice; callers
+// may own it).
+func CISoakProcs() []int { return []int{2, 2} }
+
+// CISoak returns the pinned ci soak trace config and SLO set: a
+// heavy-tailed Pareto arrival process over two weighted tenants with
+// cancels, sized to finish in seconds on any runner while still
+// queueing hard enough that latency regressions move the percentiles.
+func CISoak() (TraceConfig, []SLO) {
+	tc := TraceConfig{
+		Shape:      ShapePareto,
+		Jobs:       160,
+		MeanGap:    15,
+		Tenants:    []service.TenantSpec{{Name: "acme", Weight: 2}, {Name: "blob", Weight: 1}},
+		CancelFrac: 0.1,
+		K:          2,
+		SeedBase:   11,
+	}
+	slos := []SLO{
+		{Tenant: "acme", FlowBudget: ciSoakBudgetAcme, Target: 0.9},
+		{Tenant: "blob", FlowBudget: ciSoakBudgetBlob, Target: 0.9},
+	}
+	return tc, slos
+}
+
+// Budgets are set ~2× the blessed p99 flow of each tenant, so they
+// hold deterministically today and fail only on a real latency
+// regression, not on noise (there is none — flows are simulated time).
+const (
+	ciSoakBudgetAcme = 2048
+	ciSoakBudgetBlob = 2048
+)

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// histSnap builds a histogram snapshot by observing values through a
+// real registry histogram, so the test exercises the same bucketing
+// the service uses.
+func histSnap(t *testing.T, values []int64) MetricSnapshot {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("test_hist")
+	for _, v := range values {
+		h.Observe(v)
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name == "test_hist" {
+			return s
+		}
+	}
+	t.Fatal("snapshot missing test_hist")
+	return MetricSnapshot{}
+}
+
+func TestQuantileBucketBounds(t *testing.T) {
+	// 100 observations of value 3 land in the (2,4] bucket: every
+	// quantile reports the bucket's upper bound, 4.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = 3
+	}
+	s := histSnap(t, vals)
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got := s.Quantile(q); got != 4 {
+			t.Errorf("Quantile(%g) = %d, want 4", q, got)
+		}
+	}
+}
+
+func TestQuantileSpread(t *testing.T) {
+	// 90 fast (≤8) + 10 slow (≤1024) observations: the median sits in
+	// the fast bucket, the tail in the slow one.
+	var vals []int64
+	for i := 0; i < 90; i++ {
+		vals = append(vals, 7)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 1000)
+	}
+	s := histSnap(t, vals)
+	if got := s.Quantile(0.5); got != 8 {
+		t.Errorf("p50 = %d, want 8", got)
+	}
+	if got := s.Quantile(0.99); got != 1024 {
+		t.Errorf("p99 = %d, want 1024", got)
+	}
+}
+
+func TestQuantileOverflowSaturates(t *testing.T) {
+	s := histSnap(t, []int64{1 << 25}) // beyond the 2^20 last bound
+	want := int64(2 << 20)
+	if got := s.Quantile(0.5); got != want {
+		t.Errorf("overflow quantile = %d, want %d", got, want)
+	}
+}
+
+func TestQuantileDegenerate(t *testing.T) {
+	empty := histSnap(t, nil)
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	counter := MetricSnapshot{Name: "c", Kind: "counter", Value: 7}
+	if got := counter.Quantile(0.5); got != 0 {
+		t.Errorf("counter quantile = %d, want 0", got)
+	}
+	one := histSnap(t, []int64{5})
+	if got, want := one.Quantile(0.001), one.Quantile(1.0); got != want {
+		t.Errorf("single-observation quantiles differ: %d vs %d", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := histSnap(t, []int64{1, 2, 3})
+	data, err := json.Marshal([]MetricSnapshot{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []MetricSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != s.Name || back[0].Count != s.Count {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if got, want := back[0].Quantile(0.5), s.Quantile(0.5); got != want {
+		t.Errorf("round-tripped quantile %d, want %d", got, want)
+	}
+	if FindSnapshot(back, "test_hist") == nil {
+		t.Error("FindSnapshot missed test_hist")
+	}
+	if FindSnapshot(back, "absent") != nil {
+		t.Error("FindSnapshot found a metric that is not there")
+	}
+}

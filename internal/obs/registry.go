@@ -221,15 +221,64 @@ func (r *Registry) checkNew(name string) {
 
 // MetricSnapshot is one metric's frozen state. Kind is "counter",
 // "gauge" or "histogram"; Bounds/Counts/Sum/Count are histogram-only
-// (Counts has one extra trailing overflow bucket).
+// (Counts has one extra trailing overflow bucket). The JSON form is
+// the wire format of fhd's /v1/metrics?format=json, which the load
+// harness decodes to compute latency percentiles from a live server.
 type MetricSnapshot struct {
-	Name   string
-	Kind   string
-	Value  float64
-	Bounds []int64
-	Counts []int64
-	Sum    int64
-	Count  int64
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value"`
+	Bounds []int64 `json:"bounds,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+	Sum    int64   `json:"sum,omitempty"`
+	Count  int64   `json:"count,omitempty"`
+}
+
+// Quantile extracts the q-quantile from a histogram snapshot as the
+// upper bound of the bucket holding the rank-⌈q·count⌉ observation.
+// Because bucket bounds are fixed and data-independent, the result is
+// a deterministic, machine-independent summary — two runs that filled
+// the buckets identically report identical percentiles, which is what
+// lets SLO reports be compared bit-for-bit. Observations landing in
+// the overflow bucket saturate to twice the last bound. An empty
+// histogram or a non-histogram snapshot reports 0; q is clamped to
+// (0, 1].
+func (s *MetricSnapshot) Quantile(q float64) int64 {
+	if s.Kind != "histogram" || s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Counts {
+		cum += n
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return 2 * s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return 2 * s.Bounds[len(s.Bounds)-1]
+}
+
+// FindSnapshot returns the named snapshot from a sorted-or-not
+// snapshot slice, or nil when absent.
+func FindSnapshot(snaps []MetricSnapshot, name string) *MetricSnapshot {
+	for i := range snaps {
+		if snaps[i].Name == name {
+			return &snaps[i]
+		}
+	}
+	return nil
 }
 
 // Snapshot freezes every registered metric, sorted by name — the

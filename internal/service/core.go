@@ -66,7 +66,7 @@ type tenant struct {
 	flow                                              int64
 
 	mJobs, mDone, mCancelled, mRejected, mShed, mFailed *obs.Counter
-	mDelay                                              *obs.Histogram
+	mDelay, mFlow                                       *obs.Histogram
 }
 
 // entry is one ready task in a typed queue.
@@ -226,6 +226,7 @@ func (c *Core) tenantFor(name string) *tenant {
 		t.mShed = reg.Counter(obs.LabelName("fhd_tenant_shed_total", name))
 		t.mFailed = reg.Counter(obs.LabelName("fhd_tenant_failed_total", name))
 		t.mDelay = reg.Histogram(obs.LabelName("fhd_tenant_queue_delay", name))
+		t.mFlow = reg.Histogram(obs.LabelName("fhd_tenant_flow_time", name))
 	}
 	c.tenants[name] = t
 	i := sort.SearchStrings(c.tenantNames, name)
@@ -623,6 +624,7 @@ func (c *Core) complete(rt runTask) {
 		ten.mDone.Inc()
 		c.mets.done.Inc()
 		c.mets.flow.Observe(c.now - j.submitted)
+		ten.mFlow.Observe(c.now - j.submitted)
 	}
 }
 

@@ -387,10 +387,21 @@ func (h *Handler) obs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// metrics serves the registry snapshot: Prometheus 0.0.4 text by
+// default, or the canonical []obs.MetricSnapshot JSON with
+// ?format=json — the form fhload decodes to compute latency
+// percentiles from a live server.
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	snaps := h.core.cfg.Metrics.Snapshot()
 	h.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = obs.WritePrometheus(w, snaps)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WritePrometheus(w, snaps)
+	case "json":
+		writeJSON(w, http.StatusOK, snaps)
+	default:
+		writeError(w, fmt.Errorf("%w: unknown metrics format %q (want prom or json)", ErrBadRequest, format))
+	}
 }

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fhs/internal/obs"
+)
+
+func httpPost(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func httpGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestTenantFlowHistograms checks the per-tenant completion-latency
+// stamping the SLO harness depends on: every done job lands one
+// observation in its tenant's fhd_tenant_flow_time histogram, and the
+// histogram's sum equals the tenant's flow sum.
+func TestTenantFlowHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{Procs: []int{2, 2}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tenant := range []string{"acme", "acme", "blob"} {
+		if _, err := c.Submit(SubmitRequest{
+			ID: tenant + string(rune('0'+i)), Tenant: tenant,
+			Spec: JobSpec{Class: "ep", K: 2, Seed: int64(10 + i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+
+	sum := c.Summary()
+	for _, ts := range sum.Tenants {
+		name := obs.LabelName("fhd_tenant_flow_time", ts.Tenant)
+		snap := obs.FindSnapshot(reg.Snapshot(), name)
+		if snap == nil {
+			t.Fatalf("missing histogram %s", name)
+		}
+		if snap.Count != int64(ts.Done) {
+			t.Errorf("%s: count %d, want %d done jobs", name, snap.Count, ts.Done)
+		}
+		if snap.Sum != ts.FlowSum {
+			t.Errorf("%s: sum %d, want flow sum %d", name, snap.Sum, ts.FlowSum)
+		}
+		if ts.Done > 0 && snap.Quantile(0.99) <= 0 {
+			t.Errorf("%s: p99 = %d, want > 0", name, snap.Quantile(0.99))
+		}
+	}
+}
+
+// TestMetricsJSONEndpoint checks /v1/metrics?format=json round-trips
+// the registry snapshot — the wire format fhload's HTTP mode uses.
+func TestMetricsJSONEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{Procs: []int{2, 2}, Metrics: reg, Obs: obs.NewTracer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(c)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp := httpPost(t, srv.URL+"/v1/jobs", `{"id":"j0","tenant":"acme","spec":{"class":"ep","k":2,"seed":7}}`)
+	if resp.StatusCode != 201 {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = httpPost(t, srv.URL+"/v1/advance", `{"drain":true}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("drain status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = httpGet(t, srv.URL+"/v1/metrics?format=json")
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics json status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+	var snaps []obs.MetricSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatal(err)
+	}
+	want := reg.Snapshot()
+	if len(snaps) != len(want) {
+		t.Fatalf("decoded %d snapshots, registry has %d", len(snaps), len(want))
+	}
+	flow := obs.FindSnapshot(snaps, "fhd_flow_time")
+	if flow == nil || flow.Count != 1 {
+		t.Fatalf("fhd_flow_time over the wire: %+v", flow)
+	}
+
+	resp = httpGet(t, srv.URL+"/v1/metrics?format=yaml")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown format status %d, want 400", resp.StatusCode)
+	}
+}
