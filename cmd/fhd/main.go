@@ -161,7 +161,15 @@ func serve(cfg service.Config, addr, walDir, fsyncName string, segBytes int64, s
 		if err != nil {
 			return err
 		}
-		defer jn.Close()
+		// The graceful drain path closes the journal explicitly and
+		// checks the error; this deferred close covers early error
+		// returns (Close is idempotent) and surfaces its failure in the
+		// log rather than dropping it.
+		defer func() {
+			if cerr := jn.Close(); cerr != nil {
+				log.Printf("wal close: %v", cerr)
+			}
+		}()
 		log.Printf("wal: %s: %d ops recovered (%d from snapshot, %d segments, %d torn bytes truncated)",
 			walDir, len(recovered), rec.SnapshotFrames, rec.Segments, rec.TruncatedBytes)
 		opts = append(opts, service.WithJournal(jn), service.StartUnready())
@@ -233,8 +241,7 @@ func replay(cfg service.Config, path string, audit bool, obsPath, metricsPath st
 		return err
 	}
 	ops, err := service.ReadTrace(f)
-	f.Close()
-	if err != nil {
+	if err = errors.Join(err, f.Close()); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	res, err := service.Replay(cfg, ops)

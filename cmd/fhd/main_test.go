@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fhs/internal/service"
+)
+
+func TestParsePools(t *testing.T) {
+	got, err := parsePools(" 4, 2,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{4, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsePools = %v, want %v", got, want)
+	}
+	if _, err := parsePools("4,x"); err == nil {
+		t.Fatal("parsePools accepted a non-numeric pool size")
+	}
+}
+
+func TestParseQuotas(t *testing.T) {
+	got, err := parseQuotas("acme=3, beta=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := map[string]int{"acme": 3, "beta": 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseQuotas = %v, want %v", got, want)
+	}
+	if q, err := parseQuotas(""); err != nil || q != nil {
+		t.Fatalf("parseQuotas(\"\") = (%v, %v), want (nil, nil)", q, err)
+	}
+	for _, bad := range []string{"acme", "=3", "acme=x"} {
+		if _, err := parseQuotas(bad); err == nil {
+			t.Errorf("parseQuotas accepted %q", bad)
+		}
+	}
+}
+
+// TestReplayBadTrace pins replay's file error path: a trace that does
+// not parse fails with the path in the error, and the trace file's
+// close error is joined rather than dropped (the close runs before
+// the parse error is returned).
+func TestReplayBadTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := replay(service.Config{}, path, false, "", "")
+	if err == nil {
+		t.Fatal("replay accepted an unparseable trace")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the trace file", err)
+	}
+	if err := replay(service.Config{}, filepath.Join(t.TempDir(), "missing"), false, "", ""); err == nil {
+		t.Fatal("replay succeeded on a missing trace file")
+	}
+}

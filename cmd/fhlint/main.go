@@ -7,6 +7,7 @@
 //	fhlint ./internal/core       # one package
 //	fhlint -list                 # print the suite
 //	fhlint -analyzers=mapiter,detrand ./...
+//	fhlint -json ./...           # machine-readable findings, suppressed included
 //
 // Diagnostics print as file:line:col: [analyzer] message. A finding is
 // suppressed by an explanatory directive on the offending line or the
@@ -38,6 +39,7 @@ func main() {
 		list   = flag.Bool("list", false, "print the analyzers in the suite and exit")
 		only   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 		nofilt = flag.Bool("all-packages", false, "ignore per-analyzer package scoping (detrand/seedflow apply everywhere)")
+		asJSON = flag.Bool("json", false, "emit findings as JSON (including suppressed ones) instead of text")
 	)
 	flag.Parse()
 
@@ -85,17 +87,33 @@ func main() {
 		os.Exit(2)
 	}
 	findings := 0
+	var allKept, allSuppressed []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, suite, !*nofilt)
+		kept, suppressed, err := lint.RunDetailed(pkg, suite, !*nofilt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fhlint:", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
+		findings += len(kept)
+		if *asJSON {
+			allKept = append(allKept, kept...)
+			allSuppressed = append(allSuppressed, suppressed...)
+			continue
+		}
+		for _, d := range kept {
 			fmt.Println(d)
-			findings++
 		}
 	}
+	if *asJSON {
+		data, err := lint.EncodeFindings(lint.Findings(allKept, allSuppressed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fhlint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	}
+	// Suppressed findings never fail the run: the exit code gates on
+	// what survived the directives.
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "fhlint: %d finding(s)\n", findings)
 		os.Exit(1)

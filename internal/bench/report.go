@@ -88,6 +88,7 @@ func LoadReport(path string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	//fhlint:ignore errsink file opened read-only; a close failure cannot lose report data
 	defer f.Close()
 	r, err := ReadReport(f)
 	if err != nil {

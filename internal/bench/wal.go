@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,8 +47,7 @@ func walAppendBench(sc Scale) (func() (Fingerprint, error), error) {
 		}
 		for _, p := range payloads {
 			if err := log.Append(p); err != nil {
-				log.Close()
-				return Fingerprint{}, err
+				return Fingerprint{}, errors.Join(err, log.Close())
 			}
 		}
 		if err := log.Close(); err != nil {
@@ -86,8 +86,7 @@ func walRecoverBench(sc Scale) (func() (Fingerprint, error), error) {
 	}
 	for i := 0; i < frames; i++ {
 		if err := log.Append(walPayload(i)); err != nil {
-			log.Close()
-			return nil, err
+			return nil, errors.Join(err, log.Close())
 		}
 		// One mid-stream snapshot: recovery crosses the snapshot
 		// restore path, not just segment scans.
@@ -97,8 +96,7 @@ func walRecoverBench(sc Scale) (func() (Fingerprint, error), error) {
 				snap = append(snap, walPayload(j))
 			}
 			if err := log.Snapshot(snap); err != nil {
-				log.Close()
-				return nil, err
+				return nil, errors.Join(err, log.Close())
 			}
 		}
 	}

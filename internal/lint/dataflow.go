@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is fhlint's dataflow layer — the shared machinery the
+// concurrency and durability analyzers (locksafe, durorder, errsink,
+// goleak, tickstop) are built on:
+//
+//   - a per-package static call graph (Flow) with forward and reverse
+//     edges, resolved through go/types so methods and qualified calls
+//     bind to their *types.Func;
+//   - per-function effect summaries (Summarizer): an analyzer
+//     classifies individual calls into ordered effects (write, sync,
+//     rename, wait, ...) and the summarizer inlines same-package
+//     callee summaries at their call sites, memoized and cycle-safe,
+//     yielding each function's flat effect sequence in source order;
+//   - intraprocedural def-use/alias helpers (identObj, selectedField,
+//     receiver resolution) shared with the alias-tracking style
+//     memosafety introduced.
+//
+// The model is deliberately flow-insensitive about branches: effects
+// inside an `if` count as happening, statements are ordered by source
+// position, and aliasing is tracked only through direct assignment.
+// That approximation is sound for the straight-line lock/sync
+// protocols this repository writes, and every analyzer documents the
+// false negatives it implies (DESIGN.md "Static analysis II").
+
+// A FuncInfo pairs one function declaration with its type object.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// A CallSite is one static call edge: Call appears inside Caller.
+type CallSite struct {
+	Caller *FuncInfo
+	Call   *ast.CallExpr
+}
+
+// Flow is the per-package call graph.
+type Flow struct {
+	pass    *Pass
+	funcs   []*FuncInfo
+	byObj   map[*types.Func]*FuncInfo
+	callers map[*types.Func][]CallSite
+}
+
+// NewFlow builds the call graph of the package under analysis:
+// every function and method declaration, plus one call edge per
+// statically resolvable call expression.
+func NewFlow(pass *Pass) *Flow {
+	fl := &Flow{
+		pass:    pass,
+		byObj:   map[*types.Func]*FuncInfo{},
+		callers: map[*types.Func][]CallSite{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{Decl: fd, Obj: obj}
+			fl.funcs = append(fl.funcs, fi)
+			fl.byObj[obj] = fi
+		}
+	}
+	for _, fi := range fl.funcs {
+		caller := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := fl.CalleeOf(call); callee != nil {
+				fl.callers[callee] = append(fl.callers[callee], CallSite{Caller: caller, Call: call})
+			}
+			return true
+		})
+	}
+	return fl
+}
+
+// Funcs returns the package's function declarations in file order.
+func (fl *Flow) Funcs() []*FuncInfo { return fl.funcs }
+
+// FuncOf maps a function object back to its in-package declaration,
+// nil for functions of other packages and interface methods.
+func (fl *Flow) FuncOf(obj *types.Func) *FuncInfo { return fl.byObj[obj] }
+
+// CalleeOf statically resolves a call's target function object:
+// package-level functions, methods (concrete or interface), and
+// qualified calls into other packages. It returns nil for calls
+// through function-typed variables, builtins and conversions.
+func (fl *Flow) CalleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := fl.pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := fl.pass.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// No selection: a package-qualified call (os.Rename).
+		if f, ok := fl.pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// CallersOf returns every static call site targeting fn, in an order
+// deterministic for a fixed package (source order per caller).
+func (fl *Flow) CallersOf(fn *types.Func) []CallSite { return fl.callers[fn] }
+
+// HasLocalCallers reports whether fn is called from inside the
+// package. Functions without local callers are the call graph's
+// roots — the entry points cross-function obligations are checked at.
+func (fl *Flow) HasLocalCallers(fn *types.Func) bool { return len(fl.callers[fn]) > 0 }
+
+// An Effect is one abstract action a function performs, at a source
+// position. Kinds are analyzer-defined strings ("write", "sync",
+// "rename", "wait", ...).
+type Effect struct {
+	Kind string
+	Pos  token.Pos
+}
+
+// A Summarizer computes flat per-function effect sequences. The
+// classifier maps one call expression to its direct effects (callee
+// is the statically resolved target, possibly nil); calls into
+// same-package functions additionally inline the callee's own flat
+// summary at the call site's position, so a root function's sequence
+// spells out the whole protocol its helpers implement.
+type Summarizer struct {
+	flow     *Flow
+	classify func(call *ast.CallExpr, callee *types.Func) []Effect
+	memo     map[*types.Func][]Effect
+	inflight map[*types.Func]bool
+}
+
+// NewSummarizer prepares a summarizer over fl with the given call
+// classifier.
+func (fl *Flow) NewSummarizer(classify func(call *ast.CallExpr, callee *types.Func) []Effect) *Summarizer {
+	return &Summarizer{
+		flow:     fl,
+		classify: classify,
+		memo:     map[*types.Func][]Effect{},
+		inflight: map[*types.Func]bool{},
+	}
+}
+
+// FuncEffects returns fn's flat effect sequence: direct effects plus
+// same-package callee summaries inlined at their call sites, ordered
+// by source position, memoized. Recursive cycles contribute nothing
+// on the back edge (a documented false-negative source).
+func (s *Summarizer) FuncEffects(fn *FuncInfo) []Effect {
+	if eff, ok := s.memo[fn.Obj]; ok {
+		return eff
+	}
+	if s.inflight[fn.Obj] {
+		return nil
+	}
+	s.inflight[fn.Obj] = true
+	var effects []Effect
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		effects = append(effects, s.CallEffects(call)...)
+		return true
+	})
+	sort.SliceStable(effects, func(i, j int) bool { return effects[i].Pos < effects[j].Pos })
+	delete(s.inflight, fn.Obj)
+	s.memo[fn.Obj] = effects
+	return effects
+}
+
+// CallEffects returns the effects one call contributes: what the
+// classifier says about the call itself, plus — for calls into
+// same-package functions — the callee's flat summary re-anchored at
+// the call position.
+func (s *Summarizer) CallEffects(call *ast.CallExpr) []Effect {
+	callee := s.flow.CalleeOf(call)
+	effects := append([]Effect(nil), s.classify(call, callee)...)
+	if callee != nil {
+		if local := s.flow.FuncOf(callee); local != nil {
+			for _, e := range s.FuncEffects(local) {
+				effects = append(effects, Effect{Kind: e.Kind, Pos: call.Pos()})
+			}
+		}
+	}
+	return effects
+}
+
+// HasEffect reports whether kind appears anywhere in the sequence.
+func HasEffect(effects []Effect, kind string) bool {
+	for _, e := range effects {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// identObj resolves an identifier expression (possibly parenthesized)
+// to its object, through either a use or a definition. It returns nil
+// for non-identifier expressions.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// selectedField resolves a selector expression x.f to the field
+// object it selects, nil when e is not a field selection.
+func selectedField(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// receiverObj returns the object of a method's receiver variable, nil
+// for plain functions or anonymous receivers.
+func receiverObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// namedRecvType resolves a method declaration's receiver to its named
+// base type, nil for plain functions.
+func namedRecvType(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		// Receiver types are declared, not inferred; fall back to the
+		// defined object.
+		if len(fd.Recv.List[0].Names) > 0 {
+			if o := info.Defs[fd.Recv.List[0].Names[0]]; o != nil {
+				return namedBase(o.Type())
+			}
+		}
+		return nil
+	}
+	return namedBase(tv.Type)
+}
+
+// namedBase strips pointers off t and returns the named type beneath,
+// nil when there is none.
+func namedBase(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgType reports whether t (after stripping pointers) is the named
+// type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedBase(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

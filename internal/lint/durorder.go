@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Durorder enforces the WAL's durability ordering as an effect-
+// sequence contract over the dataflow summaries. The crash-safety
+// argument of the journal (DESIGN.md, "Durability") is an ordering
+// argument: file content must be synced before the rename that links
+// it into the log, the rename must be followed by a directory sync
+// (the commit point), and a truncation repair must be synced before
+// anyone trusts the shorter file. The analyzer classifies file-system
+// calls into effects (write, sync, truncate, rename), inlines
+// same-package helper summaries at their call sites, and checks each
+// call-graph ROOT — an exported function, or an unexported one no
+// in-package caller reaches — against the rules:
+//
+//	R1  a rename must have an earlier sync   (content durable first)
+//	R2  a rename must have a later sync      (directory commit point)
+//	R3  a truncate must have a later sync    (repair durable)
+//	R4  a write must have a later sync       (no fire-and-forget path)
+//
+// Known false negatives, accepted by design: effects under branches
+// count as present (a conditional sync satisfies the rule — the batch
+// fsync policy is exactly that); cross-package calls are opaque;
+// recursion contributes nothing on the back edge; calls through
+// function-typed variables resolve to no callee (their effects appear
+// where the literal is defined, which for this module's closures is
+// the correct source position anyway).
+var Durorder = &Analyzer{
+	Name: "durorder",
+	Doc: "enforce write -> sync -> rename -> dir-sync ordering on the WAL and snapshot " +
+		"paths via per-function effect summaries",
+	Run:     runDurorder,
+	Applies: durorderApplies,
+}
+
+func durorderApplies(pkgPath string) bool {
+	return pkgPath == "fhs/internal/service/wal"
+}
+
+// classifyFileEffect maps one call to its durability effects.
+func classifyFileEffect(info *types.Info, call *ast.CallExpr, callee *types.Func) []Effect {
+	if callee == nil || callee.Pkg() == nil {
+		return nil
+	}
+	pkg, name := callee.Pkg().Path(), callee.Name()
+	sig, _ := callee.Type().(*types.Signature)
+	switch {
+	case pkg == "os" && name == "Rename":
+		return []Effect{{Kind: "rename", Pos: call.Pos()}}
+	case pkg == "os" && name == "WriteFile":
+		return []Effect{{Kind: "write", Pos: call.Pos()}}
+	case pkg == "os" && sig != nil && sig.Recv() != nil && isPkgType(sig.Recv().Type(), "os", "File"):
+		switch name {
+		case "Write", "WriteString", "WriteAt":
+			return []Effect{{Kind: "write", Pos: call.Pos()}}
+		case "Sync":
+			return []Effect{{Kind: "sync", Pos: call.Pos()}}
+		case "Truncate":
+			return []Effect{{Kind: "truncate", Pos: call.Pos()}}
+		}
+	}
+	return nil
+}
+
+func runDurorder(pass *Pass) error {
+	flow := NewFlow(pass)
+	sum := flow.NewSummarizer(func(call *ast.CallExpr, callee *types.Func) []Effect {
+		return classifyFileEffect(pass.Info, call, callee)
+	})
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[finding]bool{}
+	report := func(pos token.Pos, msg string) {
+		f := finding{pos, msg}
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		pass.Reportf(pos, "%s", msg)
+	}
+	for _, fn := range flow.Funcs() {
+		// Only roots: a helper's obligations are checked in the context
+		// of the entry points that inline it, where the surrounding
+		// syncs are visible.
+		if !fn.Obj.Exported() && flow.HasLocalCallers(fn.Obj) {
+			continue
+		}
+		effects := sum.FuncEffects(fn)
+		for i, e := range effects {
+			switch e.Kind {
+			case "rename":
+				if !hasKindBefore(effects, i, "sync") {
+					report(e.Pos, "rename before the renamed content was synced; a crash can commit an incomplete file")
+				}
+				if !hasKindAfter(effects, i, "sync") {
+					report(e.Pos, "rename is not followed by a sync; the directory entry (the commit point) is not durable")
+				}
+			case "truncate":
+				if !hasKindAfter(effects, i, "sync") {
+					report(e.Pos, "truncate is not followed by a sync; the repair may not survive a crash")
+				}
+			case "write":
+				if !hasKindAfter(effects, i, "sync") {
+					report(e.Pos, "file write is never followed by a sync on this path")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hasKindBefore reports whether kind occurs at an index strictly
+// before i. Inlined callee effects share the call site's position but
+// keep their relative order, so index order — not raw positions — is
+// the sequence the rules run over.
+func hasKindBefore(effects []Effect, i int, kind string) bool {
+	for j := 0; j < i; j++ {
+		if effects[j].Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// hasKindAfter reports whether kind occurs at an index strictly after i.
+func hasKindAfter(effects []Effect, i int, kind string) bool {
+	for j := i + 1; j < len(effects); j++ {
+		if effects[j].Kind == kind {
+			return true
+		}
+	}
+	return false
+}

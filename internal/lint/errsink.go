@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errsink flags dropped errors from durability- and network-path
+// methods: Close, Sync, Flush and Write on *os.File, the concrete net
+// connection types, and the module's own wal.Log and service.Journal.
+// On these types an ignored error is (at best) a swallowed disk-full
+// or connection-reset, and on the WAL path it is a silent durability
+// loss — a Close error after a successful Sync can still mean the
+// data never reached the platter.
+//
+// Dropped forms: a bare call statement, defer sink(), go sink(),
+// assignment of the error position to _, and assignment to a local
+// variable that is never read afterwards (def-use tracked through the
+// function body). Interface-typed receivers (io.Closer, an HTTP
+// response body) are deliberately NOT sinks: closing a read-side
+// interface stream is routinely best-effort, and the analyzer's
+// contract is "these concrete types must never lose an error", not
+// "every Close is checked". The trade-off is a documented false
+// negative: a *os.File stored into an io.Closer escapes the check.
+var Errsink = &Analyzer{
+	Name: "errsink",
+	Doc: "forbid dropping the error of Close/Sync/Flush/Write on durability and network " +
+		"types (*os.File, net conns, wal.Log, service.Journal)",
+	Run:     runErrsink,
+	Applies: errsinkApplies,
+}
+
+// errsinkScope covers the packages on the durability and load paths.
+// Measurement CLIs (fhsim, fhbench, ...) read and report best-effort
+// and stay out, mirroring detrand's scoping philosophy.
+var errsinkScope = []string{
+	"fhs/internal/service",
+	"fhs/internal/load",
+	"fhs/internal/bench",
+	"fhs/cmd/fhd",
+}
+
+func errsinkApplies(pkgPath string) bool {
+	for _, p := range errsinkScope {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkMethods are the method names whose error results must not drop.
+var sinkMethods = map[string]bool{"Close": true, "Sync": true, "Flush": true, "Write": true}
+
+// errsinkCall reports whether call is a sink-method call on a sink type,
+// returning the qualified description used in diagnostics.
+func errsinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !sinkMethods[sel.Sel.Name] {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if t := recv; t != nil {
+		u := t.Underlying()
+		if p, ok := u.(*types.Pointer); ok {
+			u = p.Elem().Underlying()
+		}
+		if types.IsInterface(u) {
+			return "", false
+		}
+	}
+	// The method must actually report an error.
+	sig, ok := s.Obj().Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return "", false
+	}
+	n := namedBase(recv)
+	if n == nil {
+		return "", false
+	}
+	obj := n.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	isSink := (pkg == "os" && obj.Name() == "File") ||
+		pkg == "net" ||
+		(pkg == "fhs/internal/service/wal" && obj.Name() == "Log") ||
+		(pkg == "fhs/internal/service" && obj.Name() == "Journal")
+	if !isSink {
+		return "", false
+	}
+	return obj.Name() + "." + sel.Sel.Name, true
+}
+
+func runErrsink(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrsink(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkErrsink(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if name, ok := errsinkCall(pass.Info, call); ok {
+					pass.Reportf(call.Pos(), "%s error is discarded; on this type a dropped error is a lost write or close failure", name)
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := errsinkCall(pass.Info, st.Call); ok {
+				pass.Reportf(st.Call.Pos(), "deferred %s drops its error; close explicitly and join the error", name)
+			}
+		case *ast.GoStmt:
+			if name, ok := errsinkCall(pass.Info, st.Call); ok {
+				pass.Reportf(st.Call.Pos(), "go %s discards its error in a goroutine nobody observes", name)
+			}
+		case *ast.AssignStmt:
+			checkErrsinkAssign(pass, body, st)
+		}
+		return true
+	})
+}
+
+// checkErrsinkAssign handles `_ = f.Close()` and `err := f.Close()`
+// where err is never read afterwards.
+func checkErrsinkAssign(pass *Pass, body *ast.BlockStmt, asg *ast.AssignStmt) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := errsinkCall(pass.Info, call)
+	if !ok {
+		return
+	}
+	// The error is the last result, so the last LHS position.
+	errLHS := ast.Unparen(asg.Lhs[len(asg.Lhs)-1])
+	id, ok := errLHS.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "%s error is discarded via _", name)
+		return
+	}
+	var obj types.Object
+	if asg.Tok == token.DEFINE {
+		obj = pass.Info.Defs[id]
+	} else {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if !usedAfter(pass.Info, body, obj, asg.End()) {
+		pass.Reportf(call.Pos(), "%s error is assigned to %s but never checked", name, id.Name)
+	}
+}
+
+// usedAfter reports whether obj is read (not merely reassigned) at any
+// position after pos within body.
+func usedAfter(info *types.Info, body ast.Node, obj types.Object, pos token.Pos) bool {
+	lhs := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range asg.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				lhs[id] = true
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhs[id] || id.Pos() <= pos {
+			return true
+		}
+		if info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

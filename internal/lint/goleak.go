@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goleak flags goroutines spawned without a visible join path. The
+// service drains gracefully and the load/bench harnesses are
+// fingerprint-deterministic only because every spawned goroutine is
+// collected — a leaked worker is nondeterminism (results raced past
+// the reader) or a resource leak (a server goroutine outliving its
+// listener).
+//
+// The contract checked per `go` statement with a function-literal
+// body:
+//
+//   - the goroutine must signal completion — a WaitGroup.Done (on a
+//     captured variable or a parameter fed with &wg), a channel send,
+//     or a close; a goroutine with no signal at all is reported;
+//   - the spawning function must consume the signal — Wait on the
+//     same WaitGroup, or a receive (<-ch, range, select) from the
+//     same channel. Signals on values that escape the function
+//     (fields, arguments, returns) are assumed joined elsewhere.
+//
+// `go f(...)` through a named function is reported outright: this
+// module's idiom is a closure that signals, and a spawn whose join
+// evidence lives in another package cannot be checked here (suppress
+// with a reasoned //fhlint:ignore if one ever becomes necessary).
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc: "require a join path (WaitGroup.Done+Wait, channel send+receive) for every " +
+		"goroutine spawned as a function literal",
+	Run: runGoleak,
+}
+
+func runGoleak(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, fd.Body, g)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, enclosing *ast.BlockStmt, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(g.Pos(), "goroutine spawned through a named function; its join path is invisible at the spawn site — spawn a closure that signals completion")
+		return
+	}
+
+	// Parameters fed with &x or x alias the caller's object, so Done on
+	// a *sync.WaitGroup parameter maps back to the spawning function's
+	// variable.
+	alias := map[types.Object]types.Object{}
+	var params []*ast.Ident
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			params = append(params, field.Names...)
+		}
+	}
+	for i, p := range params {
+		if i >= len(g.Call.Args) {
+			break
+		}
+		arg := ast.Unparen(g.Call.Args[i])
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			arg = ast.Unparen(u.X)
+		}
+		if target := identObj(pass.Info, arg); target != nil {
+			if pobj := pass.Info.Defs[p]; pobj != nil {
+				alias[pobj] = target
+			}
+		}
+	}
+	resolve := func(e ast.Expr) types.Object {
+		obj := identObj(pass.Info, e)
+		if t, ok := alias[obj]; ok {
+			return t
+		}
+		return obj
+	}
+
+	// Completion signals inside the goroutine body. A signal through a
+	// non-ident expression (a struct field like p.wg, s.done) counts as
+	// present but unverifiable: the join lives wherever the field's
+	// owner is drained.
+	var wgObjs, chanObjs []types.Object
+	opaqueSignal := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if s, ok := pass.Info.Selections[sel]; ok && isPkgType(s.Recv(), "sync", "WaitGroup") {
+					if obj := resolve(sel.X); obj != nil {
+						wgObjs = append(wgObjs, obj)
+					} else {
+						opaqueSignal = true
+					}
+				}
+			}
+			if isBuiltin(pass.Info, n, "close") && len(n.Args) == 1 {
+				if obj := resolve(n.Args[0]); obj != nil {
+					chanObjs = append(chanObjs, obj)
+				} else {
+					opaqueSignal = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := resolve(n.Chan); obj != nil {
+				chanObjs = append(chanObjs, obj)
+			} else {
+				opaqueSignal = true
+			}
+		}
+		return true
+	})
+
+	if len(wgObjs) == 0 && len(chanObjs) == 0 && !opaqueSignal {
+		pass.Reportf(g.Pos(), "goroutine signals no completion: no WaitGroup.Done, channel send or close in its body")
+		return
+	}
+	for _, wg := range wgObjs {
+		if isLocalVar(wg) && !hasWait(pass, enclosing, wg) && !signalEscapes(pass, enclosing, g, wg) {
+			pass.Reportf(g.Pos(), "goroutine calls %s.Done but the spawning function never calls %s.Wait", wg.Name(), wg.Name())
+		}
+	}
+	for _, ch := range chanObjs {
+		if isLocalVar(ch) && !hasReceive(pass, enclosing, ch) && !signalEscapes(pass, enclosing, g, ch) {
+			pass.Reportf(g.Pos(), "goroutine sends on %s but the spawning function never receives from it", ch.Name())
+		}
+	}
+}
+
+// isLocalVar reports whether obj is a function-local variable — only
+// those can be proven unjoined; fields and package vars may be waited
+// on anywhere.
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-level vars have the package scope as parent.
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}
+
+// hasWait reports whether body contains wg.Wait() on the same object.
+func hasWait(pass *Pass, body ast.Node, wg types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		if s, ok := pass.Info.Selections[sel]; ok && isPkgType(s.Recv(), "sync", "WaitGroup") && identObj(pass.Info, sel.X) == wg {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasReceive reports whether body receives from ch: unary <-ch, range
+// over ch, or a select receive clause.
+func hasReceive(pass *Pass, body ast.Node, ch types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && identObj(pass.Info, n.X) == ch {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if identObj(pass.Info, n.X) == ch {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// signalEscapes reports whether the signal object (WaitGroup or
+// channel) leaves the spawning function through a call argument,
+// return, or assignment outside the spawn itself — joined elsewhere,
+// out of this analyzer's sight.
+func signalEscapes(pass *Pass, body ast.Node, spawn *ast.GoStmt, obj types.Object) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == spawn {
+			return false // the spawn's own &wg argument is not an escape
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				e := ast.Unparen(a)
+				if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+					e = ast.Unparen(u.X)
+				}
+				if identObj(pass.Info, e) == obj {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if identObj(pass.Info, r) == obj {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if identObj(pass.Info, r) == obj {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// A Finding is one diagnostic plus its suppression status — the unit
+// of fhlint's -json output. Suppressed findings are included so the
+// CI artifact records what //fhlint:ignore directives are absorbing;
+// a suppression that stops matching anything is then visible as a
+// disappeared row, not silence.
+type Finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// RunDetailed executes the analyzers like Run but keeps the
+// suppressed diagnostics, returning (kept, suppressed). Malformed
+// //fhlint:ignore directives surface in kept under DirectiveAnalyzer,
+// exactly as in Run.
+func RunDetailed(pkg *Package, analyzers []*Analyzer, useFilters bool) (kept, suppressed []Diagnostic, err error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if useFilters && a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, errRun(a.Name, pkg.Path, err)
+		}
+	}
+	kept, suppressed = filterDetailed(pkg.Fset, pkg.Files, analyzerNames(Analyzers()), diags)
+	sort.Slice(kept, func(i, j int) bool { return lessPosition(kept[i], kept[j]) })
+	sort.Slice(suppressed, func(i, j int) bool { return lessPosition(suppressed[i], suppressed[j]) })
+	return kept, suppressed, nil
+}
+
+// Findings flattens kept and suppressed diagnostics into the JSON
+// shape, sorted by position with suppressed rows interleaved in
+// place.
+func Findings(kept, suppressed []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(kept)+len(suppressed))
+	add := func(diags []Diagnostic, sup bool) {
+		for _, d := range diags {
+			out = append(out, Finding{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: sup,
+			})
+		}
+	}
+	add(kept, false)
+	add(suppressed, true)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// EncodeFindings marshals findings as indented JSON (a stable, diffable
+// CI artifact). A nil slice encodes as [] rather than null.
+func EncodeFindings(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	return json.MarshalIndent(findings, "", "  ")
+}
+
+// DecodeFindings is EncodeFindings' inverse.
+func DecodeFindings(data []byte) ([]Finding, error) {
+	var out []Finding
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestFindingsRoundTrip pins the -json artifact shape: RunDetailed
+// splits kept from suppressed, Findings interleaves them by position
+// with the suppressed flag set, and the encoding round-trips exactly.
+func TestFindingsRoundTrip(t *testing.T) {
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", "errsink"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed, err := RunDetailed(pkg, []*Analyzer{Errsink}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) == 0 {
+		t.Fatal("errsink fixture produced no kept diagnostics")
+	}
+	if len(suppressed) == 0 {
+		t.Fatal("errsink fixture produced no suppressed diagnostics; the fixture must exercise //fhlint:ignore")
+	}
+	// RunDetailed's kept side must agree with Run.
+	plain, err := Run(pkg, []*Analyzer{Errsink}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(kept, plain) {
+		t.Errorf("RunDetailed kept %v, Run returned %v", kept, plain)
+	}
+
+	findings := Findings(kept, suppressed)
+	if len(findings) != len(kept)+len(suppressed) {
+		t.Fatalf("Findings dropped rows: %d, want %d", len(findings), len(kept)+len(suppressed))
+	}
+	var sup int
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+		if f.Suppressed {
+			sup++
+		}
+	}
+	if sup != len(suppressed) {
+		t.Errorf("%d findings marked suppressed, want %d", sup, len(suppressed))
+	}
+
+	data, err := EncodeFindings(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFindings(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, findings) {
+		t.Errorf("round trip changed findings:\nbefore %+v\nafter  %+v", findings, back)
+	}
+}
+
+// TestEncodeFindingsEmpty: a clean run encodes as [], not null — CI
+// consumers parse the artifact unconditionally.
+func TestEncodeFindingsEmpty(t *testing.T) {
+	data, err := EncodeFindings(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", data)
+	}
+	back, err := DecodeFindings(data)
+	if err != nil || len(back) != 0 {
+		t.Fatalf("DecodeFindings([]) = (%v, %v)", back, err)
+	}
+}

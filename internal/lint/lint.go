@@ -94,14 +94,20 @@ func (d Diagnostic) String() string {
 const DirectiveAnalyzer = "fhlint"
 
 // Analyzers returns the full fhlint suite in stable order: the four
-// project-specific determinism analyzers followed by the stdlib
-// reimplementations of the x/tools safety passes.
+// project-specific determinism analyzers, the five dataflow-powered
+// concurrency/durability analyzers, then the stdlib reimplementations
+// of the x/tools safety passes.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Detrand,
 		Mapiter,
 		Memosafety,
 		Seedflow,
+		Locksafe,
+		Durorder,
+		Errsink,
+		Goleak,
+		Tickstop,
 		Nilness,
 		Shadow,
 		Unusedwrite,
@@ -137,12 +143,16 @@ func Run(pkg *Package, analyzers []*Analyzer, useFilters bool) ([]Diagnostic, er
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			return nil, errRun(a.Name, pkg.Path, err)
 		}
 	}
 	diags = Filter(pkg.Fset, pkg.Files, analyzerNames(Analyzers()), diags)
 	sort.Slice(diags, func(i, j int) bool { return lessPosition(diags[i], diags[j]) })
 	return diags, nil
+}
+
+func errRun(analyzer, pkgPath string, err error) error {
+	return fmt.Errorf("lint: %s on %s: %w", analyzer, pkgPath, err)
 }
 
 func lessPosition(a, b Diagnostic) bool {
@@ -219,9 +229,17 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 // DirectiveAnalyzer diagnostics, so a typoed suppression fails the
 // lint run instead of silently doing nothing.
 func Filter(fset *token.FileSet, files []*ast.File, known map[string]bool, diags []Diagnostic) []Diagnostic {
+	kept, _ := filterDetailed(fset, files, known, diags)
+	return kept
+}
+
+// filterDetailed is Filter keeping both sides of the split: the
+// surviving diagnostics (plus malformed-directive findings) and the
+// ones a directive suppressed.
+func filterDetailed(fset *token.FileSet, files []*ast.File, known map[string]bool, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	dirs := parseDirectives(fset, files, known)
 	if len(dirs) == 0 {
-		return diags
+		return diags, nil
 	}
 	// (file, line, analyzer) pairs a directive covers.
 	type key struct {
@@ -237,9 +255,10 @@ func Filter(fset *token.FileSet, files []*ast.File, known map[string]bool, diags
 		covered[key{d.file, d.line, d.analyzer}] = true
 		covered[key{d.file, d.line + 1, d.analyzer}] = true
 	}
-	kept := diags[:0]
+	kept = diags[:0]
 	for _, dg := range diags {
 		if covered[key{dg.Pos.Filename, dg.Pos.Line, dg.Analyzer}] {
+			suppressed = append(suppressed, dg)
 			continue
 		}
 		kept = append(kept, dg)
@@ -254,7 +273,7 @@ func Filter(fset *token.FileSet, files []*ast.File, known map[string]bool, diags
 			Message:  d.bad,
 		})
 	}
-	return kept
+	return kept, suppressed
 }
 
 // pkgPathOf resolves the package an identifier's selector qualifies,

@@ -20,6 +20,11 @@ func TestAnalyzers(t *testing.T) {
 		{Mapiter, "mapiter"},
 		{Memosafety, "memosafety"},
 		{Seedflow, "seedflow"},
+		{Locksafe, "locksafe"},
+		{Durorder, "durorder"},
+		{Errsink, "errsink"},
+		{Goleak, "goleak"},
+		{Tickstop, "tickstop"},
 		{Nilness, "nilness"},
 		{Shadow, "shadow"},
 		{Unusedwrite, "unusedwrite"},
@@ -51,7 +56,11 @@ func TestSuiteRegistry(t *testing.T) {
 			t.Errorf("analyzer %q has no Run", a.Name)
 		}
 	}
-	for _, want := range []string{"detrand", "mapiter", "memosafety", "seedflow", "nilness", "shadow", "unusedwrite"} {
+	for _, want := range []string{
+		"detrand", "mapiter", "memosafety", "seedflow",
+		"locksafe", "durorder", "errsink", "goleak", "tickstop",
+		"nilness", "shadow", "unusedwrite",
+	} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
@@ -67,9 +76,9 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole module; skipped in -short")
 	}
-	loader, err := NewLoader(".")
+	loader, err := SharedLoader(".")
 	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
+		t.Fatalf("SharedLoader: %v", err)
 	}
 	pkgs, err := loader.Load("./...")
 	if err != nil {
@@ -87,6 +96,37 @@ func TestRepoIsClean(t *testing.T) {
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestSharedLoaderCaches: the shared loader memoizes the typechecked
+// package set per module root, so a second Load is a pure cache hit —
+// the typecheck counter must not move. This is what keeps
+// TestRepoIsClean paying the whole-module typecheck once per binary.
+func TestSharedLoaderCaches(t *testing.T) {
+	l1, err := SharedLoader(".")
+	if err != nil {
+		t.Fatalf("SharedLoader: %v", err)
+	}
+	if _, err := l1.Load("./internal/lint"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	before := l1.TypecheckCount()
+	if before == 0 {
+		t.Fatal("TypecheckCount is 0 after a Load; the counter is not wired")
+	}
+	l2, err := SharedLoader(".")
+	if err != nil {
+		t.Fatalf("SharedLoader: %v", err)
+	}
+	if l2 != l1 {
+		t.Fatal("SharedLoader returned a fresh loader for the same module root")
+	}
+	if _, err := l2.Load("./internal/lint"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := l2.TypecheckCount(); got != before {
+		t.Errorf("second Load typechecked %d more packages; want a pure cache hit", got-before)
 	}
 }
 
@@ -112,5 +152,49 @@ func TestDetrandScope(t *testing.T) {
 	}
 	if !Seedflow.Applies("fhs/internal/workload") {
 		t.Error("seedflow should apply to internal/workload")
+	}
+}
+
+// TestDataflowScope pins the scoping policy of the dataflow analyzers:
+// locksafe watches the shared-state packages, durorder only the WAL,
+// errsink the durability/load paths; goleak and tickstop run
+// module-wide (nil Applies).
+func TestDataflowScope(t *testing.T) {
+	for _, in := range []string{
+		"fhs/internal/service", "fhs/internal/service/wal",
+		"fhs/internal/obs", "fhs/internal/multi", "fhs/internal/crashpoint",
+	} {
+		if !Locksafe.Applies(in) {
+			t.Errorf("locksafe should apply to %s", in)
+		}
+	}
+	for _, out := range []string{"fhs/internal/core", "fhs/cmd/fhbench", "fhs/internal/servicex"} {
+		if Locksafe.Applies(out) {
+			t.Errorf("locksafe should not apply to %s", out)
+		}
+	}
+	if !Durorder.Applies("fhs/internal/service/wal") {
+		t.Error("durorder should apply to internal/service/wal")
+	}
+	for _, out := range []string{"fhs/internal/service", "fhs/internal/service/walx", "fhs/internal/bench"} {
+		if Durorder.Applies(out) {
+			t.Errorf("durorder should not apply to %s", out)
+		}
+	}
+	for _, in := range []string{
+		"fhs/internal/service", "fhs/internal/service/wal",
+		"fhs/internal/load", "fhs/internal/bench", "fhs/cmd/fhd",
+	} {
+		if !Errsink.Applies(in) {
+			t.Errorf("errsink should apply to %s", in)
+		}
+	}
+	for _, out := range []string{"fhs/cmd/fhsim", "fhs/internal/exp", "fhs/internal/loadx"} {
+		if Errsink.Applies(out) {
+			t.Errorf("errsink should not apply to %s", out)
+		}
+	}
+	if Goleak.Applies != nil || Tickstop.Applies != nil {
+		t.Error("goleak and tickstop are module-wide; Applies must be nil")
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // A Package is one typechecked, non-test compilation unit of the
@@ -38,10 +40,44 @@ type Loader struct {
 	ModPath string // module path from go.mod
 	ModRoot string // absolute directory containing go.mod
 
-	fset *token.FileSet
-	std  types.ImporterFrom
-	pkgs map[string]*Package
-	errs map[string]error // import-path -> typecheck failure (memoized)
+	mu         sync.Mutex // serializes Load; check/Import reenter without it
+	fset       *token.FileSet
+	std        types.ImporterFrom
+	pkgs       map[string]*Package
+	errs       map[string]error // import-path -> typecheck failure (memoized)
+	typechecks atomic.Int64     // packages actually typechecked (cache misses)
+}
+
+// TypecheckCount returns how many module packages this loader has
+// actually typechecked (memoization misses). Tests assert cache hits
+// by loading twice and checking the counter did not move.
+func (l *Loader) TypecheckCount() int64 { return l.typechecks.Load() }
+
+// sharedLoaders memoizes one Loader per module root, so every test
+// and driver invocation in a process typechecks the module at most
+// once.
+var sharedLoaders = struct {
+	mu sync.Mutex
+	m  map[string]*Loader
+}{m: map[string]*Loader{}}
+
+// SharedLoader returns the process-wide Loader for the module
+// containing dir, creating it on first use. Repeated Load calls on
+// the shared loader hit the package cache instead of re-typechecking
+// — this is what keeps TestRepoIsClean from paying the whole-module
+// typecheck more than once per test binary.
+func SharedLoader(dir string) (*Loader, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders.mu.Lock()
+	defer sharedLoaders.mu.Unlock()
+	if existing, ok := sharedLoaders.m[l.ModRoot]; ok {
+		return existing, nil
+	}
+	sharedLoaders.m[l.ModRoot] = l
+	return l, nil
 }
 
 // NewLoader locates the module containing dir (walking up to the
@@ -101,6 +137,8 @@ func modulePath(gomod string) (string, error) {
 // patterns: "./..." (every package under the module root), a relative
 // directory ("./internal/dag"), or an import path within the module.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var paths []string
 	seen := map[string]bool{}
 	add := func(p string) {
@@ -227,6 +265,7 @@ func (l *Loader) check(importPath string) (*Package, error) {
 }
 
 func (l *Loader) checkUncached(importPath string) (*Package, error) {
+	l.typechecks.Add(1)
 	dir := l.dirFor(importPath)
 	ents, err := os.ReadDir(dir)
 	if err != nil {

@@ -149,3 +149,57 @@ func f() {
 		t.Fatalf("want the diagnostic kept with no directive error, got %v", kept)
 	}
 }
+
+// TestFilterCoversAllSuiteAnalyzers: every registered analyzer —
+// including the dataflow five — must be suppressible by name, and a
+// directive for one analyzer must never absorb another's finding.
+// Runs against filterDetailed so the suppressed side (what -json
+// reports) is pinned too.
+func TestFilterCoversAllSuiteAnalyzers(t *testing.T) {
+	suite := Analyzers()
+	known := analyzerNames(suite)
+	for i, a := range suite {
+		other := suite[(i+1)%len(suite)].Name
+		src := "package p\n\nfunc f() {\n\t//fhlint:ignore " + a.Name + " reasoned suppression for this test\n\t_ = 1\n}\n"
+		fset, files := parseOne(t, src)
+		kept, suppressed := filterDetailed(fset, files, known, []Diagnostic{
+			diagAt(a.Name, 5),
+			diagAt(other, 5),
+		})
+		if len(suppressed) != 1 || suppressed[0].Analyzer != a.Name {
+			t.Errorf("%s: directive suppressed %v, want exactly its own finding", a.Name, suppressed)
+		}
+		if len(kept) != 1 || kept[0].Analyzer != other {
+			t.Errorf("%s: directive must not absorb %s's finding; kept %v", a.Name, other, kept)
+		}
+	}
+}
+
+// TestFixturesExerciseSuppression: each dataflow analyzer's fixture
+// carries at least one //fhlint:ignore'd finding, so suppression
+// semantics are covered end-to-end (analyzer -> directive -> filter),
+// not just at the Filter layer.
+func TestFixturesExerciseSuppression(t *testing.T) {
+	for _, tc := range []struct {
+		a   *Analyzer
+		dir string
+	}{
+		{Locksafe, "locksafe"},
+		{Durorder, "durorder"},
+		{Errsink, "errsink"},
+		{Goleak, "goleak"},
+		{Tickstop, "tickstop"},
+	} {
+		pkg, err := LoadFixture("testdata/src/" + tc.dir)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.dir, err)
+		}
+		_, suppressed, err := RunDetailed(pkg, []*Analyzer{tc.a}, false)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.dir, err)
+		}
+		if len(suppressed) == 0 {
+			t.Errorf("%s fixture has no suppressed finding; add an //fhlint:ignore case", tc.dir)
+		}
+	}
+}

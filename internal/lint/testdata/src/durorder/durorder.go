@@ -1,0 +1,81 @@
+// Package durorder seeds durability-ordering violations for the
+// durorder analyzer: write -> sync -> rename -> dir-sync.
+package durorder
+
+import "os"
+
+// GoodCommit is the canonical safe sequence: content written, content
+// synced, renamed into place, directory entry synced.
+func GoodCommit(f, dir *os.File, a, b string) {
+	f.Write([]byte("x"))
+	f.Sync()
+	os.Rename(a, b)
+	dir.Sync()
+}
+
+func RenameUnsyncedContent(dir *os.File, a, b string) {
+	os.Rename(a, b) // want "rename before the renamed content was synced"
+	dir.Sync()
+}
+
+func RenameNoDirSync(f *os.File, a, b string) {
+	f.Write([]byte("x"))
+	f.Sync()
+	os.Rename(a, b) // want "rename is not followed by a sync"
+}
+
+func TruncateNoSync(f *os.File) {
+	f.Truncate(0) // want "truncate is not followed by a sync"
+}
+
+func TruncateThenSync(f *os.File) {
+	f.Truncate(0)
+	f.Sync()
+}
+
+func WriteNoSync(f *os.File) {
+	f.Write([]byte("x")) // want "file write is never followed by a sync"
+}
+
+func WriteFileNoSync(path string) {
+	os.WriteFile(path, []byte("x"), 0o644) // want "file write is never followed by a sync"
+}
+
+// appendFrame is a helper: its write obligation is checked in the
+// roots that inline it, not here.
+func appendFrame(f *os.File, b []byte) {
+	f.Write(b)
+}
+
+func CommitViaHelper(f, dir *os.File, a, b string) {
+	appendFrame(f, []byte("x"))
+	f.Sync()
+	os.Rename(a, b)
+	dir.Sync()
+}
+
+func LeakViaHelper(f *os.File) {
+	appendFrame(f, []byte("x")) // want "file write is never followed by a sync"
+}
+
+// orphanTruncate is unexported but has no in-package caller, so it is
+// a root and is checked directly.
+func orphanTruncate(f *os.File) {
+	f.Truncate(4) // want "truncate is not followed by a sync"
+}
+
+// ConditionalSyncCounts: a sync under a branch satisfies the ordering
+// (the batch-fsync policy is exactly that shape).
+func ConditionalSyncCounts(f *os.File, batched bool, a, b string) {
+	f.Write([]byte("x"))
+	if batched {
+		f.Sync()
+	}
+	os.Rename(a, b)
+	f.Sync()
+}
+
+func SuppressedScratchWrite(f *os.File) {
+	//fhlint:ignore durorder scratch file in fixtures; durability not required
+	f.Write([]byte("x"))
+}

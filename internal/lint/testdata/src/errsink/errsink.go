@@ -1,0 +1,71 @@
+// Package errsink seeds dropped-error patterns on durability and
+// network types for the errsink analyzer.
+package errsink
+
+import (
+	"io"
+	"net"
+	"os"
+)
+
+func bareCall(f *os.File) {
+	f.Close() // want "File.Close error is discarded"
+}
+
+func bareSync(f *os.File) {
+	f.Sync() // want "File.Sync error is discarded"
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want "deferred File.Close drops its error"
+}
+
+func goClose(f *os.File) {
+	go f.Close() // want "go File.Close discards its error"
+}
+
+func blankAssign(f *os.File) {
+	_ = f.Close() // want "File.Close error is discarded via _"
+}
+
+func blankPairAssign(f *os.File, b []byte) {
+	_, _ = f.Write(b) // want "File.Write error is discarded via _"
+}
+
+func assignedNeverRead(f *os.File) {
+	err := f.Sync()
+	if err != nil {
+		return
+	}
+	err = f.Close() // want "File.Close error is assigned to err but never checked"
+}
+
+func checkedIsClean(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkedLaterIsClean(f *os.File) error {
+	err := f.Sync()
+	return err
+}
+
+func tcpConnClose(c *net.TCPConn) {
+	c.Close() // want "TCPConn.Close error is discarded"
+}
+
+func interfaceCloseIsBestEffort(rc io.ReadCloser) {
+	// Interface receivers are deliberately not sinks.
+	defer rc.Close()
+}
+
+func netInterfaceCloseIsBestEffort(c net.Conn) {
+	c.Close()
+}
+
+func suppressedReadOnlyClose(f *os.File) {
+	//fhlint:ignore errsink file opened read-only in this fixture; close cannot lose data
+	f.Close()
+}

@@ -1,0 +1,127 @@
+// Package goleak seeds unjoined-goroutine patterns for the goleak
+// analyzer.
+package goleak
+
+import "sync"
+
+func work() {}
+
+func namedSpawn() {
+	go work() // want "spawned through a named function"
+}
+
+func noSignal() {
+	go func() { // want "signals no completion"
+		work()
+	}()
+}
+
+func doneWithoutWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "never calls wg.Wait"
+		defer wg.Done()
+		work()
+	}()
+}
+
+func doneWithWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func doneViaParamWithWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(w *sync.WaitGroup) {
+		defer w.Done()
+		work()
+	}(&wg)
+	wg.Wait()
+}
+
+func doneViaParamWithoutWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(w *sync.WaitGroup) { // want "never calls wg.Wait"
+		defer w.Done()
+		work()
+	}(&wg)
+}
+
+func sendWithoutReceive() {
+	done := make(chan struct{})
+	go func() { // want "never receives from it"
+		defer close(done)
+		work()
+	}()
+}
+
+func sendWithReceive() {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	<-errc
+}
+
+func sendWithSelectReceive(quit chan struct{}) {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	select {
+	case <-errc:
+	case <-quit:
+	}
+}
+
+func sendWithRangeReceive() {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		out <- 1
+	}()
+	for range out {
+	}
+}
+
+func escapedChannelIsJoinedElsewhere(collect func(<-chan int)) {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+	collect(out)
+}
+
+func escapedWaitGroupIsJoinedElsewhere(park func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	park(&wg)
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) fieldWaitGroupIsNotLocal() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func suppressedNamedSpawn() {
+	//fhlint:ignore goleak runtime-managed helper, joined by process exit in fixtures
+	go work()
+}

@@ -1,0 +1,116 @@
+// Package locksafe seeds mutex-discipline bugs for the locksafe
+// analyzer: inconsistent guarding, copied locks, mixed atomic/plain
+// access.
+package locksafe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	hits atomic.Int64
+}
+
+// Inc establishes the association: n is accessed under mu here, so
+// every other access of n must hold mu too.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Peek() int {
+	return c.n // want "n is accessed without holding mu"
+}
+
+// Add holds mu across the helper call, so bump is rescued by the
+// call graph: every in-package call site holds mu.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(d)
+}
+
+func (c *counter) bump(d int) {
+	c.n += d
+}
+
+// Atomics ARE the synchronization; no guard needed.
+func (c *counter) Hit() {
+	c.hits.Add(1)
+}
+
+func (c *counter) Racy() int {
+	//fhlint:ignore locksafe approximate read is acceptable in this fixture
+	return c.n
+}
+
+// Copied locks.
+
+func (c counter) Snapshot() int { // want "method Snapshot copies its lock-containing receiver"
+	return 0
+}
+
+func consume(c counter) {} // want "parameter of consume passes a lock-containing value by copy"
+
+func deref(p *counter) int {
+	v := *p // want "assignment copies a lock-containing value"
+	return v.n
+}
+
+func alias(p *counter) *counter {
+	q := p // pointer copy: clean
+	return q
+}
+
+// Package-level guarding domain.
+
+var (
+	regMu    sync.Mutex
+	registry map[string]int
+)
+
+func Register(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if registry == nil {
+		registry = map[string]int{}
+	}
+	registry[name]++
+}
+
+func Lookup(name string) int {
+	return registry[name] // want "registry is accessed without holding regMu"
+}
+
+// Mixed atomic/plain access.
+
+type flags struct {
+	ready int32
+}
+
+func (f *flags) set() {
+	atomic.StoreInt32(&f.ready, 1)
+}
+
+func (f *flags) peek() int32 {
+	return f.ready // want "ready mixes plain access with sync/atomic operations"
+}
+
+// A field never accessed under a lock has no inferred guard: clean.
+
+type plain struct {
+	mu sync.Mutex
+	id string
+}
+
+func (p *plain) ID() string { return p.id }

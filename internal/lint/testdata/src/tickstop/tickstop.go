@@ -1,0 +1,72 @@
+// Package tickstop seeds the ticker/timer lifecycle bugs the
+// tickstop analyzer exists to catch.
+package tickstop
+
+import "time"
+
+func leakedTicker() {
+	t := time.NewTicker(time.Second) // want "never stopped"
+	<-t.C
+}
+
+func leakedTimer() {
+	t := time.NewTimer(time.Second) // want "never stopped"
+	<-t.C
+}
+
+func stoppedButNotOnAllExits(stop bool) {
+	t := time.NewTicker(time.Second) // want "not stopped on all exits"
+	if stop {
+		return // leaks t
+	}
+	<-t.C
+	t.Stop()
+}
+
+func deferredStopIsClean() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func straightLineStopIsClean() {
+	t := time.NewTimer(time.Second)
+	<-t.C
+	t.Stop()
+}
+
+func escapingTickerIsCallersProblem() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+func passedAlongTickerIsCallersProblem(take func(*time.Ticker)) {
+	t := time.NewTicker(time.Second)
+	take(t)
+}
+
+func afterInLoop(done chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want "time.After in a loop"
+		case <-done:
+			return
+		}
+	}
+}
+
+func afterInRangeLoop(work []int) {
+	for range work {
+		<-time.After(time.Millisecond) // want "time.After in a loop"
+	}
+}
+
+func afterOutsideLoopIsClean() {
+	<-time.After(time.Second)
+}
+
+func tickLeaks() {
+	//fhlint:ignore tickstop demonstrating a reasoned suppression in fixtures
+	<-time.Tick(time.Second)
+	<-time.Tick(time.Second) // want "time.Tick has no Stop"
+}

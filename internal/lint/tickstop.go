@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Tickstop flags time.Ticker/time.Timer lifecycle leaks: a ticker or
+// timer created locally and never stopped keeps a runtime timer (and
+// for tickers, periodic wakeups) alive until GC or forever; a Stop
+// that is not deferred and has a return between creation and Stop
+// misses early exits; time.After inside a loop allocates one
+// uncollectable-until-fired timer per iteration; time.Tick has no
+// Stop at all.
+//
+// Values that escape the creating function — returned, stored, or
+// passed along — are someone else's responsibility and are not
+// reported (a documented false-negative source: the analyzer does not
+// follow the value to its eventual owner).
+var Tickstop = &Analyzer{
+	Name: "tickstop",
+	Doc: "require Stop on locally created time.Ticker/time.Timer values on all exits, " +
+		"forbid time.Tick and loop-carried time.After",
+	Run: runTickstop,
+}
+
+func runTickstop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTickstop(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// timeCall reports whether call is time.<name>(...).
+func timeCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return pkgPathOf(info, sel.X) == "time" && sel.Sel.Name == name
+}
+
+func checkTickstop(pass *Pass, body *ast.BlockStmt) {
+	// time.Tick and loop-carried time.After are positional patterns.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if timeCall(pass.Info, n, "Tick") {
+				pass.Reportf(n.Pos(), "time.Tick has no Stop; its ticker leaks — use time.NewTicker and defer Stop")
+			}
+		case *ast.ForStmt:
+			reportAfterInLoop(pass, n.Body)
+		case *ast.RangeStmt:
+			reportAfterInLoop(pass, n.Body)
+		}
+		return true
+	})
+
+	// Creation sites: t := time.NewTicker(...) / time.NewTimer(...).
+	type creation struct {
+		obj  types.Object
+		pos  token.Pos
+		kind string // "Ticker" or "Timer"
+	}
+	var created []creation
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var kind string
+		switch {
+		case timeCall(pass.Info, call, "NewTicker"):
+			kind = "Ticker"
+		case timeCall(pass.Info, call, "NewTimer"):
+			kind = "Timer"
+		default:
+			return true
+		}
+		if obj := identObj(pass.Info, asg.Lhs[0]); obj != nil {
+			created = append(created, creation{obj: obj, pos: call.Pos(), kind: kind})
+		}
+		return true
+	})
+
+	for _, c := range created {
+		if tickEscapes(pass.Info, body, c.obj) {
+			continue
+		}
+		var stopPos token.Pos
+		stopDeferred := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Stop" || identObj(pass.Info, sel.X) != c.obj {
+				return true
+			}
+			if stopPos == token.NoPos || call.Pos() < stopPos {
+				stopPos = call.Pos()
+				stopDeferred = deferredCall(body, call)
+			}
+			return true
+		})
+		switch {
+		case stopPos == token.NoPos:
+			pass.Reportf(c.pos, "time.New%s result is never stopped; the %s leaks its runtime timer", c.kind, c.kind)
+		case !stopDeferred && returnBetween(body, c.pos, stopPos):
+			pass.Reportf(c.pos, "time.New%s result is not stopped on all exits (a return precedes Stop; defer the Stop)", c.kind)
+		}
+	}
+}
+
+// reportAfterInLoop flags every time.After call in a loop body.
+func reportAfterInLoop(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && timeCall(pass.Info, call, "After") {
+			pass.Reportf(call.Pos(), "time.After in a loop allocates an unstoppable timer per iteration; hoist a time.NewTimer and reset it")
+		}
+		return true
+	})
+}
+
+// tickEscapes reports whether the ticker/timer object leaves the
+// function's hands: returned, passed as a call argument, assigned
+// somewhere else, or address-taken. Uses as the receiver of a method
+// call (t.Stop, t.Reset) or a field read (t.C) do not count.
+func tickEscapes(info *types.Info, body ast.Node, obj types.Object) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if identObj(info, r) == obj {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if identObj(info, a) == obj {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if identObj(info, r) == obj {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				v := e
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if identObj(info, v) == obj {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// deferredCall reports whether call is the direct operand of a defer
+// statement in body.
+func deferredCall(body ast.Node, call *ast.CallExpr) bool {
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			deferred = true
+		}
+		return true
+	})
+	return deferred
+}
+
+// returnBetween reports whether a return statement sits strictly
+// between from and to in source order — an exit the non-deferred
+// cleanup at to never runs on.
+func returnBetween(body ast.Node, from, to token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > from && r.Pos() < to {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -370,3 +370,39 @@ func TestChaosSoak(t *testing.T) {
 	}
 	audit(t, lastCore)
 }
+
+// TestOpenJournalCorruptFrame: a WAL payload that is not a valid Rec
+// must fail OpenJournal with the frame index, and the underlying log
+// must be closed on the way out — the directory stays reusable.
+func TestOpenJournalCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append([]byte(`{"op":"submit"}`)); err != nil { // valid JSON, invalid Rec
+		t.Fatal(err)
+	}
+	if err := log.Append([]byte(`not json at all`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = OpenJournal(dir, JournalOptions{WAL: wal.Options{Fsync: wal.FsyncOff}})
+	if err == nil {
+		t.Fatal("OpenJournal accepted a corrupt journal")
+	}
+	if !strings.Contains(err.Error(), "journal frame 0") {
+		t.Fatalf("error %q does not name the corrupt frame", err)
+	}
+	// The failed open released the log: a fresh wal.Open sees the same
+	// frames, untouched.
+	_, rec, err := wal.Open(dir, wal.Options{Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Payloads) != 2 {
+		t.Fatalf("recovered %d payloads after failed OpenJournal, want 2", len(rec.Payloads))
+	}
+}

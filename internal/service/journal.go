@@ -80,12 +80,10 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, []Rec, *wal.Recover
 	for i, p := range rec.Payloads {
 		var r Rec
 		if err := json.Unmarshal(p, &r); err != nil {
-			log.Close()
-			return nil, nil, nil, fmt.Errorf("service: journal frame %d: %w", i, err)
+			return nil, nil, nil, errors.Join(fmt.Errorf("service: journal frame %d: %w", i, err), log.Close())
 		}
 		if err := r.validate(); err != nil {
-			log.Close()
-			return nil, nil, nil, fmt.Errorf("service: journal frame %d: %w", i, err)
+			return nil, nil, nil, errors.Join(fmt.Errorf("service: journal frame %d: %w", i, err), log.Close())
 		}
 		recs = append(recs, r)
 	}

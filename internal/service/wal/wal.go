@@ -379,17 +379,23 @@ func readSnapshot(path string) ([][]byte, error) {
 	return payloads[1:], nil
 }
 
-func truncateFile(path string, size int64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+func truncateFile(path string, size int64) (err error) {
+	f, oerr := os.OpenFile(path, os.O_WRONLY, 0)
+	if oerr != nil {
+		return fmt.Errorf("wal: %w", oerr)
 	}
-	defer f.Close()
-	if err := f.Truncate(size); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	// The close error joins the result: a failed close after a repair
+	// can still mean the truncation never reached the platter.
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("wal: %w", cerr))
+		}
+	}()
+	if terr := f.Truncate(size); terr != nil {
+		return fmt.Errorf("wal: %w", terr)
 	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	if serr := f.Sync(); serr != nil {
+		return fmt.Errorf("wal: %w", serr)
 	}
 	return nil
 }
@@ -402,8 +408,7 @@ func (l *Log) openSegment(seq uint64) error {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return errors.Join(fmt.Errorf("wal: %w", err), f.Close())
 	}
 	l.f, l.seq, l.size, l.unsynced = f, seq, st.Size(), 0
 	// Make the segment's existence durable: an appended-then-lost
@@ -509,41 +514,8 @@ func (l *Log) Snapshot(payloads [][]byte) error {
 	seq := l.seq
 	final := filepath.Join(l.dir, snapName(seq))
 	tmp := final + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	hdr, err := json.Marshal(snapHeader{V: 1, Frames: len(payloads)})
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("wal: %w", err)
-	}
-	write := func(payload []byte) error {
-		frame, err := EncodeFrame(payload)
-		if err != nil {
-			return err
-		}
-		if _, err := f.Write(frame); err != nil {
-			return fmt.Errorf("wal: %w", err)
-		}
-		return nil
-	}
-	if err := write(hdr); err != nil {
-		f.Close()
+	if err := writeSnapshotTmp(tmp, payloads); err != nil {
 		return err
-	}
-	for _, p := range payloads {
-		if err := write(p); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
 	}
 	cpSnapBeforeRename.Hit()
 	if err := os.Rename(tmp, final); err != nil {
@@ -571,6 +543,52 @@ func (l *Log) Snapshot(payloads [][]byte) error {
 	return l.openSegment(seq + 1)
 }
 
+// writeSnapshotTmp writes the framed snapshot header and payloads to
+// tmp and syncs it. The close error joins the result — a close
+// failure even after a successful sync can mean lost data — and a
+// failed attempt removes the partial temp file so it cannot shadow a
+// later snapshot at the same path.
+func writeSnapshotTmp(tmp string, payloads [][]byte) (err error) {
+	f, oerr := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if oerr != nil {
+		return fmt.Errorf("wal: %w", oerr)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("wal: %w", cerr))
+		}
+		if err != nil {
+			_ = os.Remove(tmp)
+		}
+	}()
+	write := func(payload []byte) error {
+		frame, err := EncodeFrame(payload)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		return nil
+	}
+	hdr, merr := json.Marshal(snapHeader{V: 1, Frames: len(payloads)})
+	if merr != nil {
+		return fmt.Errorf("wal: %w", merr)
+	}
+	if err := write(hdr); err != nil {
+		return err
+	}
+	for _, p := range payloads {
+		if err := write(p); err != nil {
+			return err
+		}
+	}
+	if serr := f.Sync(); serr != nil {
+		return fmt.Errorf("wal: %w", serr)
+	}
+	return nil
+}
+
 // Close syncs and closes the live segment. The log cannot be used
 // afterwards.
 func (l *Log) Close() error {
@@ -579,8 +597,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	if err := l.f.Sync(); err != nil {
-		l.f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return errors.Join(fmt.Errorf("wal: %w", err), l.f.Close())
 	}
 	return l.f.Close()
 }
@@ -592,6 +609,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	//fhlint:ignore errsink directory handle opened read-only for fsync; close cannot lose data
 	defer d.Close()
 	if err := d.Sync(); err != nil {
 		// Some filesystems refuse directory fsync; treat as best

@@ -382,3 +382,50 @@ func TestPolicyByName(t *testing.T) {
 		t.Error("PolicyByName accepted an unknown policy")
 	}
 }
+
+// TestSnapshotBadPayloadCleansTmp: a snapshot whose payload cannot be
+// framed must fail without leaving a partial .tmp file behind (a
+// later snapshot at the same sequence would rename garbage into
+// place) and must leave the log usable.
+func TestSnapshotBadPayloadCleansTmp(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncOff})
+	appendN(t, l, 0, 3)
+	if err := l.Snapshot([][]byte{payloadN(0), []byte("torn\npayload")}); err == nil {
+		t.Fatal("Snapshot accepted a payload with a line break")
+	}
+	tmp := filepath.Join(dir, snapName(l.seq)+tmpSuffix)
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("failed snapshot left partial tmp file %s", tmp)
+	}
+	// The log must still accept appends and recover everything.
+	appendN(t, l, 3, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	wantPayloads(t, rec, 5)
+}
+
+// TestTruncateFileJoinsCloseError pins truncateFile's contract: the
+// repair is synced and the handle closed, with any close error joined
+// into the result rather than dropped.
+func TestTruncateFileJoinsCloseError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := truncateFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123" {
+		t.Fatalf("truncateFile left %q, want %q", data, "0123")
+	}
+	if err := truncateFile(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("truncateFile succeeded on a missing file")
+	}
+}
