@@ -79,11 +79,30 @@ func (c *Comparison) Failed() bool {
 	return false
 }
 
-// Regressions returns the names of benchmarks that tripped the gate.
+// Regressions returns the names of benchmarks whose slowdown tripped
+// the timing gate. Fingerprint drift is reported separately by Drifted:
+// a drifted row's delta is meaningless, so calling it a "regression"
+// would misdirect whoever triages the failure toward a timing problem
+// that may not exist.
 func (c *Comparison) Regressions() []string {
 	var names []string
 	for _, d := range c.Deltas {
-		if d.Verdict == VerdictRegression || d.FingerprintMismatch {
+		if d.Verdict == VerdictRegression {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// Drifted returns the names of benchmarks whose result fingerprints
+// disagree between the two reports — the runs did different work, so
+// their timing rows (still printed, still classified) cannot be
+// trusted. Drift alone fails the comparison even when every timing
+// verdict is "ok".
+func (c *Comparison) Drifted() []string {
+	var names []string
+	for _, d := range c.Deltas {
+		if d.FingerprintMismatch {
 			names = append(names, d.Name)
 		}
 	}
@@ -148,14 +167,10 @@ func WriteComparison(w io.Writer, c *Comparison) error {
 		"benchmark", "old ns/op", "new ns/op", "delta", "allocs", "verdict"); err != nil {
 		return err
 	}
-	var regressions int
 	for _, d := range c.Deltas {
 		verdict := string(d.Verdict)
 		if d.FingerprintMismatch {
 			verdict += " FINGERPRINT-MISMATCH"
-		}
-		if d.Verdict == VerdictRegression || d.FingerprintMismatch {
-			regressions++
 		}
 		if _, err := fmt.Fprintf(w, "%-32s %14.0f %14.0f %9s %9s  %s\n",
 			d.Name, d.OldNs, d.NewNs, pct(d.Change), pct(d.AllocChange), verdict); err != nil {
@@ -166,8 +181,8 @@ func WriteComparison(w io.Writer, c *Comparison) error {
 	if c.Failed() {
 		status = "FAIL"
 	}
-	_, err := fmt.Fprintf(w, "%s: %d benchmarks, %d regressions (gate %+.0f%%, noise ±%.0f%%)\n",
-		status, len(c.Deltas), regressions, c.Gate.Fail*100, c.Gate.Noise*100)
+	_, err := fmt.Fprintf(w, "%s: %d benchmarks, %d regressions, %d fingerprint drifts (gate %+.0f%%, noise ±%.0f%%)\n",
+		status, len(c.Deltas), len(c.Regressions()), len(c.Drifted()), c.Gate.Fail*100, c.Gate.Noise*100)
 	return err
 }
 

@@ -63,7 +63,7 @@ func TestCompareRegressionGate(t *testing.T) {
 	if err := WriteComparison(&buf, c); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "FAIL: 3 benchmarks, 1 regressions") {
+	if !strings.Contains(buf.String(), "FAIL: 3 benchmarks, 1 regressions, 0 fingerprint drifts") {
 		t.Errorf("comparison output missing FAIL summary:\n%s", buf.String())
 	}
 }
@@ -107,17 +107,45 @@ func TestCompareAddedRemoved(t *testing.T) {
 }
 
 // TestCompareFingerprintMismatch: same timings but different work is a
-// failure — the numbers are not comparable.
+// failure — the numbers are not comparable. Drift is reported on its
+// own channel: the timing verdict stays "ok", Regressions() stays
+// empty, Drifted() names the row, and the rendered table still carries
+// the full timing data so the triager sees both dimensions at once.
 func TestCompareFingerprintMismatch(t *testing.T) {
-	old := report(map[string]float64{"a": 1000})
-	new := report(map[string]float64{"a": 1000})
+	old := report(map[string]float64{"a": 1000, "b": 2000})
+	new := report(map[string]float64{"a": 1000, "b": 2000})
 	new.Results[0].Fingerprint.Checksum++
+	drifted := new.Results[0].Name
 	c, err := Compare(old, new, Gate{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !c.Failed() {
 		t.Fatal("fingerprint mismatch did not fail the comparison")
+	}
+	if got := c.Regressions(); len(got) != 0 {
+		t.Errorf("Regressions() = %v, want none: drift is not a timing regression", got)
+	}
+	if got := c.Drifted(); len(got) != 1 || got[0] != drifted {
+		t.Errorf("Drifted() = %v, want [%s]", got, drifted)
+	}
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ok FINGERPRINT-MISMATCH") {
+		t.Errorf("drifted row lost its timing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL: 2 benchmarks, 0 regressions, 1 fingerprint drifts") {
+		t.Errorf("summary does not report drift independently of regressions:\n%s", out)
+	}
+	// The timing table must survive a drift-only failure: both rows
+	// render with their ns/op columns.
+	for _, name := range []string{"a", "b"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("row %q missing from drift-failed table:\n%s", name, out)
+		}
 	}
 }
 

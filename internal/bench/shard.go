@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fhs/internal/core"
+	"fhs/internal/shard"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+// shardEngineBench measures one full sharded simulation per op on the
+// suite's standard IR graph — the same graph, machine and MQB seed as
+// engine/np/mqb-ir, so the committed fingerprint doubles as an
+// equivalence witness: shard/engine-* and engine/np/mqb-ir must carry
+// identical (instances, decisions, checksum) triples in BENCH_CI.json.
+// The shard sweep {1,4,16} exposes the coordination overhead curve;
+// decisions/sec is the headline derived metric.
+func shardEngineBench(shards int) func(Scale) (func() (Fingerprint, error), error) {
+	return func(sc Scale) (func() (Fingerprint, error), error) {
+		g, procs, err := benchGraph(sc, workload.IR)
+		if err != nil {
+			return nil, err
+		}
+		factory := func() (sim.Scheduler, error) { return core.New("MQB", core.Params{Seed: sc.Seed}) }
+		cfg := shard.Config{Shards: shards, Seed: sc.Seed, Procs: procs}
+		return func() (Fingerprint, error) {
+			res, err := shard.Run(g, factory, cfg)
+			if err != nil {
+				return Fingerprint{}, err
+			}
+			return Fingerprint{
+				Instances: float64(g.NumTasks()),
+				Decisions: float64(res.Decisions),
+				Checksum:  float64(res.CompletionTime),
+			}, nil
+		}, nil
+	}
+}

@@ -1,0 +1,382 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+	"fhs/internal/sim"
+)
+
+// runEntry is the coordinator's run-heap element: earliest finish
+// first, ties to the lowest task ID — the sequential engine's order.
+type runEntry struct {
+	finish int64
+	id     dag.TaskID
+}
+
+// Less implements sim.HeapElem.
+func (e runEntry) Less(o runEntry) bool {
+	if e.finish != o.finish {
+		return e.finish < o.finish
+	}
+	return e.id < o.id
+}
+
+// engineMetrics pre-resolves every metric handle once per Run. The
+// sim_* names mirror the sequential engine instrument for instrument
+// (kills/failures/wasted stay zero — the sharded engine is
+// fault-free), so a registry fed by either engine reports identical
+// totals; the shard_* names expose the optimistic-concurrency
+// behavior, and every one of them is deterministic: invariant across
+// Shards, Seed and goroutine interleaving.
+type engineMetrics struct {
+	started   *obs.Counter   // sim_tasks_started_total
+	completed *obs.Counter   // sim_tasks_completed_total
+	busy      *obs.Counter   // sim_busy_time_total
+	runWork   *obs.Histogram // sim_task_work
+
+	commits   *obs.Counter // shard_commits_total: committed placements
+	conflicts *obs.Counter // shard_conflicts_total: proposals rejected by version check
+	retries   *obs.Counter // shard_retries_total: re-speculations after a conflict
+	waves     *obs.Counter // shard_waves_total: speculation waves
+	rounds    *obs.Counter // shard_rounds_total: scheduling rounds (event times)
+	specPicks *obs.Counter // shard_speculated_picks_total: picks proposed, incl. discarded
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	// Touch the remaining sim_* names so a snapshot of a shard-fed
+	// registry carries the full engine metric family, as sim.Run does.
+	reg.Counter("sim_kills_total")
+	reg.Counter("sim_failures_total")
+	reg.Counter("sim_wasted_time_total")
+	return engineMetrics{
+		started:   reg.Counter("sim_tasks_started_total"),
+		completed: reg.Counter("sim_tasks_completed_total"),
+		busy:      reg.Counter("sim_busy_time_total"),
+		runWork:   reg.Histogram("sim_task_work"),
+		commits:   reg.Counter("shard_commits_total"),
+		conflicts: reg.Counter("shard_conflicts_total"),
+		retries:   reg.Counter("shard_retries_total"),
+		waves:     reg.Counter("shard_waves_total"),
+		rounds:    reg.Counter("shard_rounds_total"),
+		specPicks: reg.Counter("shard_speculated_picks_total"),
+	}
+}
+
+// Counters reports the concurrency-control totals of one finished run.
+// All fields are deterministic functions of (job, scheduler, machine):
+// the differential battery asserts they are invariant across Shards
+// and Seed.
+type Counters struct {
+	Commits    int64 // committed placements (== Result.Decisions)
+	Conflicts  int64 // proposals rejected by the version check
+	Retries    int64 // re-speculations after a conflict
+	Waves      int64 // speculation waves across all rounds
+	Rounds     int64 // scheduling rounds (distinct event times)
+	Speculated int64 // picks proposed by workers, including discarded ones
+}
+
+// Run executes g on the machine in cfg with cfg.Shards concurrent
+// scheduler goroutines and returns a result bit-identical to
+// sim.Run's non-preemptive engine with the same scheduler. See the
+// package comment for the commit protocol and the determinism
+// argument.
+func Run(g *dag.Graph, factory Factory, cfg Config) (sim.Result, error) {
+	res, _, err := RunCounted(g, factory, cfg)
+	return res, err
+}
+
+// RunCounted is Run plus the optimistic-concurrency counters, for
+// callers that assert on them directly (the obs registry carries the
+// same totals as shard_* metrics).
+func RunCounted(g *dag.Graph, factory Factory, cfg Config) (sim.Result, Counters, error) {
+	var ctr Counters
+	if err := cfg.Validate(g.K()); err != nil {
+		return sim.Result{}, ctr, err
+	}
+	if factory == nil {
+		return sim.Result{}, ctr, fmt.Errorf("shard: nil scheduler factory")
+	}
+	wantTrace := cfg.CollectTrace
+	if cfg.Paranoid {
+		cfg.CollectTrace = true
+	}
+	// simCfg is the sequential-engine view of this run: the state
+	// machine reads its Procs and the Paranoid auditor replays the
+	// result against it.
+	simCfg := sim.Config{
+		Procs:        cfg.Procs,
+		CollectTrace: cfg.CollectTrace,
+		MaxTime:      cfg.MaxTime,
+		Obs:          cfg.Obs,
+		Metrics:      cfg.Metrics,
+	}
+	// Workers see the same machine but a nil tracer and registry:
+	// speculation is observationally silent, so rejected proposals can
+	// never leak events and replica runs never double-count metrics.
+	prepCfg := simCfg
+	prepCfg.Obs = nil
+	prepCfg.Metrics = nil
+
+	// The reference instance names the policy in errors and carries the
+	// footprint declaration; one more factory call per worker below.
+	ref, err := factory()
+	if err != nil {
+		return sim.Result{}, ctr, fmt.Errorf("shard: scheduler factory: %w", err)
+	}
+	if err := ref.Prepare(g, prepCfg); err != nil {
+		return sim.Result{}, ctr, fmt.Errorf("shard: scheduler %s prepare: %w", ref.Name(), err)
+	}
+	_, localPick := ref.(LocalPicker)
+
+	k := g.K()
+	n := g.NumTasks()
+	st := sim.NewRunState(g, &simCfg)
+
+	// Build and prepare every worker's scheduler and replica
+	// sequentially before any goroutine exists: randomized policies
+	// draw their noise tables during Prepare from identically seeded
+	// private generators, so all instances come out byte-equal.
+	workers := make([]*worker, cfg.Shards)
+	for i := range workers {
+		s, err := factory()
+		if err != nil {
+			return sim.Result{}, ctr, fmt.Errorf("shard: scheduler factory: %w", err)
+		}
+		if err := s.Prepare(g, prepCfg); err != nil {
+			return sim.Result{}, ctr, fmt.Errorf("shard: scheduler %s prepare: %w", s.Name(), err)
+		}
+		workers[i] = &worker{
+			sched:   s,
+			replica: sim.NewRunState(g, &prepCfg),
+			reqCh:   make(chan request),
+			// Replies are buffered so a worker never blocks sending;
+			// closing reqCh below is then always enough to join it.
+			repCh: make(chan reply, 1),
+		}
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		w := w
+		go func() {
+			defer wg.Done()
+			w.run(g)
+		}()
+	}
+	defer func() {
+		for _, w := range workers {
+			close(w.reqCh)
+		}
+		wg.Wait()
+	}()
+
+	res := sim.Result{BusyTime: make([]int64, k), WastedWork: make([]int64, k)}
+	tr := cfg.Obs
+	mets := newEngineMetrics(cfg.Metrics)
+	var (
+		running  sim.Heap[runEntry]
+		runBusy  = make([]int, k)
+		vers     = make([]uint64, k) // per-type commit version counters
+		snap     = make([]uint64, k) // wave-start snapshot of vers
+		done     = make([]bool, k)   // per-round: type committed or declined
+		tried    = make([]bool, k)   // per-round: type speculated at least once
+		pending  []dag.Type
+		order    []int
+		props    []proposal
+		ops      []op // committed operation log, replayed by replicas
+		rngState = uint64(cfg.Seed)
+	)
+	asg := make([]request, len(workers))
+
+	for st.NumCompleted() < n {
+		ctr.Rounds++
+		for a := 0; a < k; a++ {
+			done[a] = false
+			tried[a] = false
+		}
+		// Assignment phase, in waves: speculate every pending type in
+		// parallel, commit in ascending type order under the version
+		// check, re-speculate conflicted types against the updated
+		// state. The lowest pending type always validates, so each
+		// wave retires at least one type and a round takes at most K
+		// waves.
+		for {
+			pending = pending[:0]
+			for a := 0; a < k; a++ {
+				if !done[a] && runBusy[a] < cfg.Procs[a] && st.QueueLen(dag.Type(a)) > 0 {
+					if tried[a] {
+						ctr.Retries++
+					}
+					pending = append(pending, dag.Type(a))
+				}
+			}
+			if len(pending) == 0 {
+				break
+			}
+			ctr.Waves++
+			copy(snap, vers)
+			// Deal the pending types across workers in a seeded
+			// shuffle. The shuffle only decides which goroutine
+			// speculates which type — every replica syncs to the same
+			// committed log first, so the proposals (and therefore the
+			// schedule and all counters) are invariant to it.
+			order = order[:0]
+			for i := range pending {
+				order = append(order, i)
+			}
+			for i := len(order) - 1; i > 0; i-- {
+				j := int(splitmix64(&rngState) % uint64(i+1))
+				order[i], order[j] = order[j], order[i]
+			}
+			for wi := range asg {
+				asg[wi].types = asg[wi].types[:0]
+				asg[wi].free = asg[wi].free[:0]
+				asg[wi].log = ops
+			}
+			for idx, oi := range order {
+				wi := idx % len(workers)
+				alpha := pending[oi]
+				tried[alpha] = true
+				asg[wi].types = append(asg[wi].types, alpha)
+				asg[wi].free = append(asg[wi].free, cfg.Procs[alpha]-runBusy[alpha])
+			}
+			for wi, w := range workers {
+				if len(asg[wi].types) == 0 {
+					continue
+				}
+				w.reqCh <- asg[wi]
+			}
+			// Join every contacted worker before acting on any error so
+			// no reply is left in flight.
+			var werr error
+			props = props[:0]
+			for wi, w := range workers {
+				if len(asg[wi].types) == 0 {
+					continue
+				}
+				rep := <-w.repCh
+				if rep.err != nil && werr == nil {
+					werr = rep.err
+				}
+				props = append(props, rep.props...)
+			}
+			if werr != nil {
+				return res, ctr, werr
+			}
+			// Commit phase: ascending type order is the sequential
+			// engine's pipeline order, and the order the determinism
+			// induction runs over.
+			sort.Slice(props, func(i, j int) bool { return props[i].alpha < props[j].alpha })
+			for _, p := range props {
+				ctr.Speculated += int64(len(p.picks))
+				valid := vers[p.alpha] == snap[p.alpha]
+				if valid && !localPick {
+					for a := 0; a < k; a++ {
+						if vers[a] != snap[a] {
+							valid = false
+							break
+						}
+					}
+				}
+				if !valid {
+					ctr.Conflicts++
+					continue
+				}
+				// The compare succeeded: the proposing replica saw
+				// exactly the current state, so the picks are the
+				// sequential engine's picks. Committing retires the
+				// type for this round — the pick loop ran until free
+				// processors, the queue, or the scheduler's interest
+				// was exhausted.
+				done[p.alpha] = true
+				for _, id := range p.picks {
+					if !st.StartReady(id) {
+						return res, ctr, fmt.Errorf("shard: internal: committed task %d is not ready", id)
+					}
+					vers[p.alpha]++
+					runBusy[p.alpha]++
+					res.Decisions++
+					ctr.Commits++
+					running.Push(runEntry{finish: st.Now() + st.Remaining(id), id: id})
+					ops = append(ops, op{t: st.Now(), id: id})
+					if simCfg.CollectTrace {
+						res.Trace = append(res.Trace, sim.Event{Time: st.Now(), Task: id, Type: p.alpha, Kind: sim.EventStart})
+					}
+					if tr.Enabled() {
+						tr.Emit(obs.TaskEv(obs.KindStart, st.Now(), int64(id), int64(p.alpha)))
+					}
+				}
+			}
+		}
+		if tr.Enabled() {
+			st.EmitQueueSamples(tr)
+		}
+		// Advance to the earliest completion; with nothing running the
+		// schedulers have collectively idled a round with work left.
+		if len(running) == 0 {
+			if st.NumCompleted() < n {
+				return res, ctr, fmt.Errorf("shard: scheduler %s stalled at t=%d with %d/%d tasks complete",
+					ref.Name(), st.Now(), st.NumCompleted(), n)
+			}
+			break
+		}
+		next := running[0].finish
+		if cfg.MaxTime > 0 && next > cfg.MaxTime {
+			return res, ctr, fmt.Errorf("shard: clock %d exceeds MaxTime=%d under scheduler %s (%d/%d tasks complete)",
+				next, cfg.MaxTime, ref.Name(), st.NumCompleted(), n)
+		}
+		st.AdvanceClock(next)
+		// Completion phase: retire every task finishing at this
+		// instant in heap order (earliest finish, ties to lowest ID).
+		for len(running) > 0 && running[0].finish == next {
+			rt := running.Pop()
+			alpha := g.Task(rt.id).Type
+			work := st.Remaining(rt.id)
+			res.BusyTime[alpha] += work
+			runBusy[alpha]--
+			st.FinishRunning(rt.id)
+			mets.runWork.Observe(work)
+			ops = append(ops, op{t: next, id: rt.id, finish: true})
+			if simCfg.CollectTrace {
+				res.Trace = append(res.Trace, sim.Event{Time: next, Task: rt.id, Type: alpha, Kind: sim.EventFinish})
+			}
+			if tr.Enabled() {
+				tr.Emit(obs.TaskEv(obs.KindFinish, next, int64(rt.id), int64(alpha)))
+			}
+		}
+	}
+	res.CompletionTime = st.Now()
+	res.Utilization = make([]float64, k)
+	if res.CompletionTime > 0 {
+		for a := 0; a < k; a++ {
+			res.Utilization[a] = float64(res.BusyTime[a]) / (float64(cfg.Procs[a]) * float64(res.CompletionTime))
+		}
+	}
+	mets.started.Add(ctr.Commits)
+	mets.completed.Add(int64(st.NumCompleted()))
+	for a := 0; a < k; a++ {
+		mets.busy.Add(res.BusyTime[a])
+	}
+	mets.commits.Add(ctr.Commits)
+	mets.conflicts.Add(ctr.Conflicts)
+	mets.retries.Add(ctr.Retries)
+	mets.waves.Add(ctr.Waves)
+	mets.rounds.Add(ctr.Rounds)
+	mets.specPicks.Add(ctr.Speculated)
+	if cfg.Paranoid {
+		if aerr := sim.RunAudit(g, simCfg, ref, &res); aerr != nil {
+			return res, ctr, fmt.Errorf("shard: paranoid audit of scheduler %s: %w", ref.Name(), aerr)
+		}
+		if !wantTrace {
+			res.Trace = nil
+		}
+	}
+	return res, ctr, nil
+}

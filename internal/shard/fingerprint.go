@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"fhs/internal/sim"
+)
+
+// Fingerprint canonically hashes everything a Result asserts about a
+// schedule: completion time, per-type busy time and utilization-free
+// aggregates, decision count and the full event trace in emission
+// order. Two runs are byte-identical schedules iff their fingerprints
+// match — the comparison the sharded-vs-sequential differential
+// battery (verify.AuditShardedEquiv), the golden tests and the CI
+// oracle all gate on.
+func Fingerprint(res *sim.Result) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	w(res.CompletionTime)
+	w(res.Decisions)
+	w(int64(len(res.BusyTime)))
+	for _, b := range res.BusyTime {
+		w(b)
+	}
+	for _, wk := range res.WastedWork {
+		w(wk)
+	}
+	w(res.Kills)
+	w(res.Failures)
+	w(int64(len(res.Trace)))
+	for _, e := range res.Trace {
+		w(e.Time)
+		w(int64(e.Task))
+		w(int64(e.Type))
+		w(int64(e.Kind))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,93 @@
+package shard_test
+
+import (
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/shard"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+)
+
+// fuzzInstance decodes a byte string into a small weighted K-DAG plus
+// machine config, mirroring the decoder of internal/verify's fuzz
+// battery: bytes are consumed cyclically so every input is a valid
+// instance, and edges only ever point forward so the graph is acyclic
+// by construction.
+func fuzzInstance(data []byte, maxN int) (*dag.Graph, []int) {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	cursor := 0
+	next := func() int {
+		b := data[cursor%len(data)]
+		cursor++
+		return int(b)
+	}
+	k := next()%3 + 1
+	n := next()%maxN + 1
+	b := dag.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		alpha := dag.Type(next() % k)
+		work := int64(next()%4 + 1)
+		b.AddTask(alpha, work)
+	}
+	procs := make([]int, k)
+	for a := range procs {
+		procs[a] = next()%3 + 1
+	}
+	for e := 0; e < len(data); e++ {
+		from, to := next()%n, next()%n
+		if from < to {
+			b.AddEdge(dag.TaskID(from), dag.TaskID(to))
+		}
+	}
+	return b.MustBuild(), procs
+}
+
+// FuzzShardCommit fuzzes the optimistic commit protocol itself: a
+// fuzzed instance is run through the sequential engine and through the
+// sharded engine at a fuzzed shard count and retry seed under a fuzzed
+// registry scheduler, and the two must agree on the canonical result
+// fingerprint. The sharded trace additionally passes the full invariant
+// audit, and the concurrency counters must respect the protocol's
+// structural identities (commits == decisions, conflicts == retries).
+func FuzzShardCommit(f *testing.F) {
+	f.Add([]byte{}, uint8(4), int64(1))
+	f.Add([]byte{0, 0, 0}, uint8(1), int64(0))
+	f.Add([]byte{2, 8, 1, 0, 2, 1, 0, 2, 1, 3, 2, 1, 0, 3, 1, 4, 2, 5}, uint8(16), int64(99))
+	f.Add([]byte{1, 5, 0, 0, 0, 0, 0, 2, 0, 1, 1, 2, 2, 3, 3, 4}, uint8(8), int64(-7))
+	f.Add([]byte{2, 6, 0, 1, 0, 1, 0, 1, 1, 1, 0, 5, 1, 4, 2, 3}, uint8(3), int64(1<<40))
+	names := append(core.Names(), core.MQBVariantNames()...)
+	f.Fuzz(func(t *testing.T, data []byte, shardByte uint8, seed int64) {
+		g, procs := fuzzInstance(data, 10)
+		shards := int(shardByte)%16 + 1
+		name := names[int(shardByte)%len(names)]
+		cfg := sim.Config{Procs: procs, CollectTrace: true}
+		want, err := sim.Run(g, core.MustNew(name, core.Params{Seed: 5}), cfg)
+		if err != nil {
+			t.Fatalf("%s: sequential engine: %v", name, err)
+		}
+		factory := func() (sim.Scheduler, error) { return core.New(name, core.Params{Seed: 5}) }
+		res, ctr, err := shard.RunCounted(g, factory, shard.Config{
+			Shards: shards, Seed: seed, Procs: procs, CollectTrace: true,
+		})
+		if err != nil {
+			t.Fatalf("%s (P=%d, seed=%d): sharded engine: %v", name, shards, seed, err)
+		}
+		if gf, wf := shard.Fingerprint(&res), shard.Fingerprint(&want); gf != wf {
+			t.Fatalf("%s (P=%d, seed=%d): sharded result diverged:\n  shard %s (T=%d D=%d)\n  sim   %s (T=%d D=%d)",
+				name, shards, seed, gf, res.CompletionTime, res.Decisions, wf, want.CompletionTime, want.Decisions)
+		}
+		if err := verify.Audit(g, cfg, &res, verify.ForScheduler(name)); err != nil {
+			t.Fatalf("%s (P=%d, seed=%d): audit: %v", name, shards, seed, err)
+		}
+		if ctr.Commits != res.Decisions {
+			t.Fatalf("%s: commits %d != decisions %d", name, ctr.Commits, res.Decisions)
+		}
+		if ctr.Conflicts != ctr.Retries {
+			t.Fatalf("%s: conflicts %d != retries %d", name, ctr.Conflicts, ctr.Retries)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package shard_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/obs"
+	"fhs/internal/shard"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden sharded traces under testdata/")
+
+// goldenConfig mirrors internal/core's golden instance distribution: a
+// deliberately small EP job so the committed trace stays diffable.
+func goldenConfig() workload.Config {
+	return workload.Config{
+		Class:   workload.EP,
+		Typing:  workload.Layered,
+		K:       3,
+		WorkMin: 1,
+		WorkMax: 2,
+		EP: workload.EPParams{
+			BranchesMin: 6, BranchesMax: 10,
+			LengthMin: 6, LengthMax: 9,
+			SegmentLenMin: 3, SegmentLenMax: 3,
+		},
+	}
+}
+
+// goldenTrace produces the canonical JSONL stream of a sharded run on
+// the pinned EP instance (seed 41, the same instance internal/core's
+// golden battery pins). One engine-level caveat is part of the locked
+// format: sharded workers speculate against untraced replicas, so the
+// stream carries the engine's start/finish/sample events but no
+// scheduler decision events — that absence is itself golden.
+func goldenTrace(t *testing.T, sched string) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	g, err := workload.Generate(goldenConfig(), rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	factory := func() (sim.Scheduler, error) { return core.New(sched, core.Params{Seed: 7}) }
+	tr := obs.NewTracer()
+	tr.BeginScope(sched)
+	if _, err := shard.Run(g, factory, shard.Config{
+		Shards: 4, Seed: 9, Procs: []int{3, 2, 4}, Obs: tr,
+	}); err != nil {
+		t.Fatalf("%s: %v", sched, err)
+	}
+	tr.EndScope(sched)
+	if err := obs.ValidateTrace(tr.Events()); err != nil {
+		t.Fatalf("%s: invalid trace: %v", sched, err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffLines reports the first divergence between two JSONL documents in
+// a readable, line-oriented form.
+func diffLines(got, want []byte) string {
+	g := bytes.Split(bytes.TrimRight(got, "\n"), []byte("\n"))
+	w := bytes.Split(bytes.TrimRight(want, "\n"), []byte("\n"))
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d lines, want %d", len(g), len(w))
+}
+
+// TestGoldenShardTraces locks the observability stream of sharded MQB
+// and KGreedy runs on the pinned EP instance to committed JSONL files.
+// Any change to the commit protocol that alters the schedule, the
+// engine's event ordering or the wire format shows up as a diff; run
+// `go test ./internal/shard -run TestGoldenShardTraces -update` to
+// re-bless after an intentional change.
+func TestGoldenShardTraces(t *testing.T) {
+	byFile := make(map[string][]byte)
+	for _, tc := range []struct {
+		sched string
+		file  string
+	}{
+		{"MQB", "shard_mqb_ep.jsonl"},
+		{"KGreedy", "shard_kgreedy_ep.jsonl"},
+	} {
+		path := filepath.Join("testdata", tc.file)
+		got := goldenTrace(t, tc.sched)
+		byFile[tc.file] = got
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: trace drifted from golden file; %s\n(re-bless with -update if intentional)",
+				path, diffLines(got, want))
+			continue
+		}
+		// The committed bytes must themselves round-trip: golden files
+		// double as decoder regression fixtures.
+		events, err := obs.ReadJSONL(bytes.NewReader(want))
+		if err != nil {
+			t.Errorf("%s: committed golden does not decode: %v", path, err)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: golden file is not in canonical encoding", path)
+		}
+	}
+	// Guard against a degenerate blessing: the two schedulers must
+	// actually schedule differently on the pinned instance, or the
+	// goldens would not distinguish them.
+	mqb, kg := byFile["shard_mqb_ep.jsonl"], byFile["shard_kgreedy_ep.jsonl"]
+	if len(mqb) > 0 && bytes.Equal(mqb, kg) {
+		t.Error("MQB and KGreedy golden traces are byte-identical; the pinned instance does not separate the schedulers")
+	}
+}

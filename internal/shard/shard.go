@@ -1,0 +1,157 @@
+// Package shard is the sharded shared-state scheduling engine: the
+// non-preemptive simulation loop of fhs/internal/sim scaled across P
+// concurrent scheduler goroutines, with a correctness bar of
+// bit-identical results for every shard count, seed and goroutine
+// interleaving.
+//
+// # Protocol
+//
+// The engine partitions each scheduling round's work by resource type.
+// One coordinator owns the authoritative cluster state — typed ready
+// queues, pool occupancy, the run heap and a per-type version counter —
+// and P persistent workers each own a replica of that state plus their
+// own scheduler instance. A round's assignment phase runs in waves:
+//
+//  1. The coordinator snapshots the per-type version counters and
+//     deals the pending types (free processors and a non-empty queue)
+//     across the workers in a seeded pseudo-random order.
+//  2. Each assigned worker first catches its replica up by replaying
+//     the committed operation log, then speculates: it brackets the
+//     type's ready queue with State.SaveQueue/RestoreQueue and runs
+//     the engine's exact pick loop — Pick, validate, dequeue — against
+//     its replica, producing a placement proposal. Speculation never
+//     touches shared state and is untraced.
+//  3. The coordinator joins all proposals and commits them in
+//     ascending type order under optimistic concurrency control: a
+//     proposal validates only if every version counter its scheduler
+//     may have read is unchanged since the wave's snapshot (the
+//     compare step), and committing bumps the proposal's own type
+//     version once per placement (the swap). Conflicting proposals
+//     are discarded, counted, and re-speculated in the next wave.
+//
+// Schedulers whose Pick reads only their own type's queue implement
+// LocalPicker and validate against their single version counter, so
+// they commit conflict-free in one wave (K-way parallel speculation).
+// Global policies like MQB — whose balance rule reads every queue —
+// validate against all K counters, so at most the lowest pending type
+// commits per wave and the rest retry: the engine degrades to the
+// sequential type order the policy's semantics demand, which is also
+// why its results can be exact.
+//
+// # Determinism
+//
+// The committed schedule is a pure function of (job, scheduler,
+// machine): by induction over types, a proposal for type α commits
+// exactly when all types before it have finished the round, at which
+// point the proposing replica has replayed the full log and is
+// byte-equal to the state the sequential engine would show the
+// scheduler. Shard count and the assignment seed only decide which
+// goroutine performs a speculation, never its input, so traces,
+// results — and even the conflict/retry counters — are invariant
+// across P and Seed, and identical to fhs/internal/sim's
+// non-preemptive engine. verify.AuditShardedEquiv is the oracle that
+// enforces this battery.
+package shard
+
+import (
+	"fmt"
+
+	"fhs/internal/obs"
+	"fhs/internal/sim"
+)
+
+// Config describes one sharded run. The machine model matches
+// sim.Config restricted to the reliable non-preemptive engine: fault
+// timelines and preemption are not sharded (the callers that need them
+// use the sequential engine).
+type Config struct {
+	// Shards is P, the number of concurrent scheduler goroutines.
+	// Must be positive; results are identical for every value.
+	Shards int
+
+	// Seed orders the per-wave assignment of pending types to workers.
+	// It exists to let tests drive many interleavings; the committed
+	// schedule is invariant to it.
+	Seed int64
+
+	// Procs holds Pα, the per-type pool sizes (see sim.Config.Procs).
+	Procs []int
+
+	// CollectTrace records per-task start/finish events in the result.
+	CollectTrace bool
+
+	// MaxTime aborts the run with an error if the clock exceeds it;
+	// 0 means no limit.
+	MaxTime int64
+
+	// Obs streams the engine's observability events: task lifecycle
+	// plus per-type queue-depth and x-utilization samples, in the same
+	// order as the sequential engine. Speculation is untraced — workers
+	// run their schedulers with a nil tracer, so scheduler-emitted
+	// decision events (contested picks) do not appear in sharded
+	// streams. Nil disables.
+	Obs *obs.Tracer
+
+	// Metrics aggregates the sim_* engine counters plus the shard_*
+	// concurrency counters (commits, conflicts, retries, waves, rounds,
+	// speculated picks) into the registry. All shard_* totals are
+	// deterministic: invariant across Shards and Seed. Nil disables.
+	Metrics *obs.Registry
+
+	// Paranoid audits the finished schedule with the registered
+	// sim auditor (fhs/internal/verify), exactly like
+	// sim.Config.Paranoid.
+	Paranoid bool
+}
+
+// Validate rejects malformed configs before any goroutine is spawned.
+func (c *Config) Validate(k int) error {
+	if c.Shards <= 0 {
+		return fmt.Errorf("shard: %d shards, want > 0", c.Shards)
+	}
+	if len(c.Procs) != k {
+		return fmt.Errorf("shard: config has %d processor pools, job has K=%d", len(c.Procs), k)
+	}
+	for a, p := range c.Procs {
+		if p <= 0 {
+			return fmt.Errorf("shard: pool %d has %d processors, want > 0", a, p)
+		}
+	}
+	if c.MaxTime < 0 {
+		return fmt.Errorf("shard: negative MaxTime %d", c.MaxTime)
+	}
+	return nil
+}
+
+// Factory builds one scheduler instance per engine goroutine. Every
+// call must return an identically configured instance: same policy,
+// same options and — for randomized information models — the same
+// seed, so all replicas derive identical prepared state (the paper's
+// randomized MQB variants draw their noise tables in Prepare from a
+// private seeded generator, which makes this exact). core.New closed
+// over fixed arguments is the canonical factory.
+type Factory func() (sim.Scheduler, error)
+
+// LocalPicker marks schedulers whose Pick reads only the requested
+// type's ready queue (its membership, order and queue work), never the
+// other types' queues or pools. The engine then validates the
+// scheduler's proposals against that single type's version counter, so
+// local policies commit conflict-free and speculate K-way parallel.
+// Implementations assert the property; declaring it falsely for a
+// global policy breaks equivalence with the sequential engine (the
+// differential oracle catches exactly that).
+type LocalPicker interface {
+	// PickIsLocal documents the footprint; it is never called.
+	PickIsLocal()
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next value;
+// the engine's only randomness source (assignment shuffling), fully
+// determined by Config.Seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,261 @@
+package shard_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+	"fhs/internal/shard"
+	"fhs/internal/sim"
+	_ "fhs/internal/verify" // registers the Paranoid-mode auditor
+	"fhs/internal/workload"
+)
+
+// testGraph draws a small seeded instance of the given class.
+func testGraph(t testing.TB, class workload.Class, seed int64) *dag.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := workload.Generate(workload.Small(class, 3, workload.Layered), rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return g
+}
+
+// factoryFor builds registry schedulers with a fixed seed, the
+// identical-instances contract shard.Factory requires.
+func factoryFor(name string) shard.Factory {
+	return func() (sim.Scheduler, error) { return core.New(name, core.Params{Seed: 11}) }
+}
+
+var testProcs = []int{3, 2, 4}
+
+// TestShardMatchesSim is the basic equivalence check: the sharded
+// engine must reproduce the sequential non-preemptive engine bit for
+// bit — completion time, busy time, decisions, trace and utilization —
+// for local-footprint (KGreedy), global-footprint (MQB) and randomized
+// (MQB+All+Noise) policies alike.
+func TestShardMatchesSim(t *testing.T) {
+	for _, sched := range []string{"KGreedy", "MQB", "MQB+All+Noise", "LSpan"} {
+		for _, class := range []workload.Class{workload.EP, workload.Tree} {
+			g := testGraph(t, class, 7)
+			s, err := core.New(sched, core.Params{Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sim.Run(g, s, sim.Config{Procs: testProcs, CollectTrace: true})
+			if err != nil {
+				t.Fatalf("%s/%v: sim: %v", sched, class, err)
+			}
+			got, err := shard.Run(g, factoryFor(sched), shard.Config{
+				Shards: 3, Seed: 5, Procs: testProcs, CollectTrace: true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: shard: %v", sched, class, err)
+			}
+			if gf, wf := shard.Fingerprint(&got), shard.Fingerprint(&want); gf != wf {
+				t.Errorf("%s/%v: sharded result differs from sequential engine:\n  shard %s\n  sim   %s\n  shard T=%d D=%d, sim T=%d D=%d",
+					sched, class, gf, wf, got.CompletionTime, got.Decisions, want.CompletionTime, want.Decisions)
+			}
+			for a := range want.Utilization {
+				if got.Utilization[a] != want.Utilization[a] {
+					t.Errorf("%s/%v: utilization[%d] = %v, want %v", sched, class, a, got.Utilization[a], want.Utilization[a])
+				}
+			}
+		}
+	}
+}
+
+// TestShardInvariance is the headline determinism bar: the schedule,
+// the result fingerprint, every concurrency counter and the whole
+// metrics registry must be invariant across shard counts AND
+// assignment seeds.
+func TestShardInvariance(t *testing.T) {
+	g := testGraph(t, workload.EP, 13)
+	type outcome struct {
+		fp   string
+		ctr  shard.Counters
+		regs string
+	}
+	var base *outcome
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, seed := range []int64{1, 999} {
+			reg := obs.NewRegistry()
+			res, ctr, err := shard.RunCounted(g, factoryFor("MQB"), shard.Config{
+				Shards: p, Seed: seed, Procs: testProcs, CollectTrace: true, Metrics: reg,
+			})
+			if err != nil {
+				t.Fatalf("P=%d seed=%d: %v", p, seed, err)
+			}
+			o := outcome{fp: shard.Fingerprint(&res), ctr: ctr, regs: reg.Fingerprint()}
+			if base == nil {
+				b := o
+				base = &b
+				continue
+			}
+			if o.fp != base.fp {
+				t.Errorf("P=%d seed=%d: fingerprint %s, want %s", p, seed, o.fp, base.fp)
+			}
+			if o.ctr != base.ctr {
+				t.Errorf("P=%d seed=%d: counters %+v, want %+v", p, seed, o.ctr, base.ctr)
+			}
+			if o.regs != base.regs {
+				t.Errorf("P=%d seed=%d: metrics registry fingerprint drifted", p, seed)
+			}
+		}
+	}
+}
+
+// TestShardCounters pins the qualitative concurrency-control behavior:
+// local-footprint policies never conflict; the global-footprint MQB
+// must conflict on a multi-type instance (that is what serializes its
+// type order); commits always equal decisions; and the obs registry
+// carries the same totals as the returned counters.
+func TestShardCounters(t *testing.T) {
+	g := testGraph(t, workload.EP, 21)
+
+	reg := obs.NewRegistry()
+	res, ctr, err := shard.RunCounted(g, factoryFor("KGreedy"), shard.Config{
+		Shards: 4, Seed: 3, Procs: testProcs, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Conflicts != 0 || ctr.Retries != 0 {
+		t.Errorf("KGreedy (LocalPicker): conflicts=%d retries=%d, want 0/0", ctr.Conflicts, ctr.Retries)
+	}
+	if ctr.Commits != res.Decisions {
+		t.Errorf("commits %d != decisions %d", ctr.Commits, res.Decisions)
+	}
+	if ctr.Waves > ctr.Rounds {
+		t.Errorf("KGreedy: waves=%d rounds=%d, want at most one wave per round (conflict-free)", ctr.Waves, ctr.Rounds)
+	}
+	snapshotHas := func(name string, want int64) {
+		t.Helper()
+		for _, m := range reg.Snapshot() {
+			if m.Name == name {
+				if m.Value != float64(want) {
+					t.Errorf("%s = %v, want %d", name, m.Value, want)
+				}
+				return
+			}
+		}
+		t.Errorf("metric %s not in snapshot", name)
+	}
+	snapshotHas("shard_commits_total", ctr.Commits)
+	snapshotHas("shard_conflicts_total", ctr.Conflicts)
+	snapshotHas("shard_retries_total", ctr.Retries)
+	snapshotHas("shard_waves_total", ctr.Waves)
+	snapshotHas("shard_rounds_total", ctr.Rounds)
+	snapshotHas("shard_speculated_picks_total", ctr.Speculated)
+
+	_, mqb, err := shard.RunCounted(g, factoryFor("MQB"), shard.Config{
+		Shards: 4, Seed: 3, Procs: testProcs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mqb.Conflicts == 0 {
+		t.Errorf("MQB (global footprint): expected version conflicts on a %d-type instance, got none", g.K())
+	}
+	if mqb.Conflicts != mqb.Retries {
+		t.Errorf("MQB: conflicts=%d retries=%d, want equal (every conflict is re-speculated exactly once)", mqb.Conflicts, mqb.Retries)
+	}
+	if mqb.Speculated <= mqb.Commits {
+		t.Errorf("MQB: speculated=%d commits=%d, want speculation overhead > 0", mqb.Speculated, mqb.Commits)
+	}
+}
+
+// TestShardParanoid runs the inline auditor over the sharded result
+// and checks the trace-stripping contract matches sim.Run's.
+func TestShardParanoid(t *testing.T) {
+	g := testGraph(t, workload.Tree, 5)
+	res, err := shard.Run(g, factoryFor("MQB"), shard.Config{
+		Shards: 4, Seed: 1, Procs: testProcs, Paranoid: true,
+	})
+	if err != nil {
+		t.Fatalf("paranoid sharded run: %v", err)
+	}
+	if len(res.Trace) != 0 {
+		t.Errorf("trace not stripped after paranoid audit without CollectTrace: %d events", len(res.Trace))
+	}
+	res, err = shard.Run(g, factoryFor("KGreedy"), shard.Config{
+		Shards: 2, Seed: 1, Procs: testProcs, Paranoid: true, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("paranoid traced run: %v", err)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("CollectTrace with Paranoid returned no trace")
+	}
+}
+
+// wrongTypePicker violates the scheduler contract by picking a task of
+// another type whenever it can; the engine must surface that as an
+// error, not a corrupted schedule.
+type wrongTypePicker struct{ sim.Scheduler }
+
+func (w wrongTypePicker) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
+	for a := 0; a < st.K(); a++ {
+		if dag.Type(a) != alpha && st.QueueLen(dag.Type(a)) > 0 {
+			return st.Ready(dag.Type(a))[0], true
+		}
+	}
+	return w.Scheduler.Pick(st, alpha)
+}
+
+func TestShardErrors(t *testing.T) {
+	g := testGraph(t, workload.EP, 3)
+	mqb := factoryFor("MQB")
+
+	if _, err := shard.Run(g, mqb, shard.Config{Shards: 0, Procs: testProcs}); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := shard.Run(g, mqb, shard.Config{Shards: 2, Procs: []int{1, 1}}); err == nil {
+		t.Error("K mismatch accepted")
+	}
+	if _, err := shard.Run(g, mqb, shard.Config{Shards: 2, Procs: []int{1, 0, 1}}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := shard.Run(g, nil, shard.Config{Shards: 2, Procs: testProcs}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := shard.Run(g, factoryFor("nosuch"), shard.Config{Shards: 2, Procs: testProcs}); err == nil {
+		t.Error("factory error not surfaced")
+	}
+	if _, err := shard.Run(g, mqb, shard.Config{Shards: 2, Procs: testProcs, MaxTime: 1}); err == nil ||
+		!strings.Contains(err.Error(), "MaxTime") {
+		t.Errorf("MaxTime=1 not enforced: %v", err)
+	}
+	bad := func() (sim.Scheduler, error) {
+		s, err := core.New("KGreedy", core.Params{})
+		if err != nil {
+			return nil, err
+		}
+		return wrongTypePicker{s}, nil
+	}
+	if _, err := shard.Run(g, bad, shard.Config{Shards: 2, Procs: testProcs}); err == nil ||
+		!strings.Contains(err.Error(), "not ready on pool") {
+		t.Errorf("contract violation not surfaced: %v", err)
+	}
+}
+
+// TestShardObsStream checks a traced sharded run emits a valid
+// canonical stream with the engine's sample cadence.
+func TestShardObsStream(t *testing.T) {
+	g := testGraph(t, workload.EP, 17)
+	tr := obs.NewTracer()
+	tr.BeginScope("shard")
+	if _, err := shard.Run(g, factoryFor("MQB"), shard.Config{
+		Shards: 4, Seed: 2, Procs: testProcs, Obs: tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr.EndScope("shard")
+	if err := obs.ValidateTrace(tr.Events()); err != nil {
+		t.Fatalf("invalid obs stream: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"fhs/internal/core"
+	"fhs/internal/shard"
+	"fhs/internal/sim"
+	"fhs/internal/workload"
+)
+
+// TestShardSoak hammers the commit protocol at the maximum shard count
+// the bench suite exercises (16 goroutines against 3 types, so most
+// workers idle-join every wave) for a bounded wall-clock budget,
+// varying the instance and the retry seed every iteration. Run under
+// -race by the CI soak job, this is the schedule-vs-schedule memory
+// model check: every iteration must still reproduce the sequential
+// engine's fingerprint bit for bit.
+//
+// Wall-clock budgeting is deliberate — the point is "as many
+// interleavings as this machine can try in N seconds", not a fixed
+// iteration count that goes stale as the engine gets faster.
+func TestShardSoak(t *testing.T) {
+	budget := 2 * time.Second
+	if testing.Short() {
+		budget = 200 * time.Millisecond
+	}
+	deadline := time.Now().Add(budget)
+	iters := 0
+	for seed := int64(1); time.Now().Before(deadline); seed++ {
+		g := testGraph(t, workload.EP, seed)
+		want, err := sim.Run(g, core.MustNew("MQB", core.Params{Seed: 11}), sim.Config{Procs: testProcs, CollectTrace: true})
+		if err != nil {
+			t.Fatalf("seed %d: sequential engine: %v", seed, err)
+		}
+		res, ctr, err := shard.RunCounted(g, factoryFor("MQB"), shard.Config{
+			Shards: 16, Seed: seed * 31, Procs: testProcs, CollectTrace: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: sharded engine: %v", seed, err)
+		}
+		if gf, wf := shard.Fingerprint(&res), shard.Fingerprint(&want); gf != wf {
+			t.Fatalf("seed %d: sharded result diverged after %d clean iterations:\n  shard %s\n  sim   %s",
+				seed, iters, gf, wf)
+		}
+		if ctr.Commits != res.Decisions {
+			t.Fatalf("seed %d: commits %d != decisions %d", seed, ctr.Commits, res.Decisions)
+		}
+		iters++
+	}
+	if iters == 0 {
+		t.Fatal("soak budget expired before a single iteration completed")
+	}
+	t.Logf("soak: %d iterations at 16 shards in %v", iters, budget)
+}

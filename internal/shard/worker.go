@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+)
+
+// op is one entry of the committed operation log: a placement (dequeue
+// of a ready task) or a completion, stamped with the commit-time clock.
+// Replaying the log in order advances a replica to the authoritative
+// state byte for byte — both transitions are the deterministic State
+// moves of the sequential engine.
+type op struct {
+	t      int64
+	id     dag.TaskID
+	finish bool // false: placement (StartReady); true: completion
+}
+
+// proposal is one speculated placement batch for a single type: the
+// exact pick sequence the scheduler produced against the proposing
+// replica, plus whether the scheduler declined (Pick returned ok=false)
+// before the free processors ran out.
+type proposal struct {
+	alpha    dag.Type
+	picks    []dag.TaskID
+	declined bool
+}
+
+// request is one wave's work order for a worker: the pending types it
+// must speculate (with the free-processor budget per type) and the
+// committed log to catch up on first. The log slice is append-only and
+// the coordinator only extends it while every worker is join-blocked,
+// so reading it off a request needs no further synchronization.
+type request struct {
+	types []dag.Type
+	free  []int
+	log   []op
+}
+
+type reply struct {
+	props []proposal
+	err   error
+}
+
+// worker is one shard: a persistent goroutine owning a private state
+// replica and scheduler instance. All coordination is two channels;
+// the round-trips provide every happens-before edge the engine needs,
+// so the whole package is mutex-free.
+type worker struct {
+	sched   sim.Scheduler
+	replica *sim.State
+	applied int // committed-log prefix already replayed into replica
+
+	reqCh chan request
+	repCh chan reply
+}
+
+// run is the worker goroutine body: serve speculation requests until
+// the coordinator closes the request channel.
+func (w *worker) run(g *dag.Graph) {
+	for req := range w.reqCh {
+		props, err := w.speculate(g, req)
+		w.repCh <- reply{props: props, err: err}
+	}
+}
+
+// speculate catches the replica up to the committed log, then runs the
+// sequential engine's pick loop for each assigned type against the
+// replica — bracketed by SaveQueue/RestoreQueue so every type's
+// speculation starts from the identical wave-start state no matter
+// which worker runs it or in what order.
+func (w *worker) speculate(g *dag.Graph, req request) ([]proposal, error) {
+	for _, o := range req.log[w.applied:] {
+		w.replica.AdvanceClock(o.t)
+		if o.finish {
+			w.replica.FinishRunning(o.id)
+		} else if !w.replica.StartReady(o.id) {
+			return nil, fmt.Errorf("shard: internal: log replay could not start task %d", o.id)
+		}
+	}
+	w.applied = len(req.log)
+
+	props := make([]proposal, 0, len(req.types))
+	for i, alpha := range req.types {
+		save := w.replica.SaveQueue(alpha)
+		p := proposal{alpha: alpha}
+		for len(p.picks) < req.free[i] && w.replica.QueueLen(alpha) > 0 {
+			id, ok := w.sched.Pick(w.replica, alpha)
+			if !ok {
+				p.declined = true
+				break
+			}
+			if g.Task(id).Type != alpha || !w.replica.StartReady(id) {
+				w.replica.RestoreQueue(save)
+				return nil, fmt.Errorf("shard: scheduler %s picked task %d which is not ready on pool %d",
+					w.sched.Name(), id, int(alpha))
+			}
+			p.picks = append(p.picks, id)
+		}
+		w.replica.RestoreQueue(save)
+		props = append(props, p)
+	}
+	return props, nil
+}

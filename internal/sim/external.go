@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+	"fhs/internal/obs"
+)
+
+// This file is the mechanism API for external engines: exported, narrow
+// accessors that let another package (fhs/internal/shard) drive a State
+// through the same transitions the built-in engines perform, without
+// re-deriving the bookkeeping. Every mutation here is a move the
+// sequential engines already make — readiness propagation, queue
+// accounting and FIFO order stay bit-identical by construction.
+
+// NewRunState builds the initial engine state for a job: per-task
+// remaining work and parent counts, and the root tasks enqueued in ID
+// order. cfg must outlive the state and must already be validated.
+func NewRunState(g *dag.Graph, cfg *Config) *State { return newState(g, cfg) }
+
+// AdvanceClock moves the simulation clock forward to t. Moves backward
+// are ignored so replayed operation logs can re-stamp the clock per
+// entry without ordering hazards.
+func (st *State) AdvanceClock(t int64) {
+	if t > st.now {
+		st.now = t
+	}
+}
+
+// StartReady removes a ready task from its type's queue, the state
+// transition behind a placement. It reports false if the task is not
+// currently ready (a scheduler contract violation the caller must turn
+// into an error).
+func (st *State) StartReady(id dag.TaskID) bool { return st.dequeue(id) }
+
+// FinishRunning retires a started task: its remaining work drops to
+// zero and children whose parents are now all complete join their
+// ready queues in the engines' deterministic (ID) order.
+func (st *State) FinishRunning(id dag.TaskID) {
+	st.remaining[id] = 0
+	st.complete(id, nil)
+}
+
+// QueueSave is an opaque snapshot of one ready queue, used to roll back
+// speculative StartReady calls (see SaveQueue).
+type QueueSave struct {
+	alpha dag.Type
+	queue []dag.TaskID
+	work  int64
+}
+
+// SaveQueue snapshots the ready queue of one type. Together with
+// RestoreQueue it brackets speculative execution: a caller may dequeue
+// ready α-tasks through StartReady — so queue-sensitive policies see
+// their own provisional placements — and then restore the queue to its
+// saved state. Only queue membership and queue work are covered;
+// speculation must not complete tasks.
+func (st *State) SaveQueue(alpha dag.Type) QueueSave {
+	return QueueSave{
+		alpha: alpha,
+		queue: append([]dag.TaskID(nil), st.queues[alpha]...),
+		work:  st.queueWork[alpha],
+	}
+}
+
+// RestoreQueue undoes every dequeue of the saved type since the
+// matching SaveQueue.
+func (st *State) RestoreQueue(s QueueSave) {
+	st.queues[s.alpha] = append(st.queues[s.alpha][:0], s.queue...)
+	st.queueWork[s.alpha] = s.work
+}
+
+// EmitQueueSamples streams the engines' standard per-type queue-depth
+// and x-utilization observations for the current instant. External
+// engines call it once per scheduling step, after their assignment
+// phase, so traced runs keep the exact sample cadence of the built-in
+// engines. Callers guard with tr.Enabled().
+func (st *State) EmitQueueSamples(tr *obs.Tracer) { emitSamples(tr, st) }
+
+// RunAudit invokes the registered Paranoid-mode auditor (see
+// RegisterAuditor) on a finished result. It exists so external engines
+// can offer the same Paranoid contract as Run without reaching into
+// the package-private hook.
+func RunAudit(g *dag.Graph, cfg Config, s Scheduler, res *Result) error {
+	if auditor == nil {
+		return fmt.Errorf("sim: no auditor is registered (import fhs/internal/verify)")
+	}
+	return auditor(g, cfg, s, res)
+}

@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"fmt"
+
+	"fhs/internal/dag"
+	"fhs/internal/shard"
+	"fhs/internal/sim"
+)
+
+// AuditShardedEquiv is the differential oracle for the sharded
+// optimistic engine (fhs/internal/shard): it runs the sequential
+// non-preemptive engine once as the reference, audits it, and then
+// requires every requested shard count — each under two different
+// assignment seeds, so seed-invariance is part of the bar — to
+// reproduce a byte-identical canonical fingerprint (completion time,
+// busy time, decisions and the full event trace; see
+// shard.Fingerprint). Each sharded result is additionally audited
+// against the full invariant battery, and the optimistic-concurrency
+// counters must themselves be invariant across shard counts and seeds.
+//
+// factory must obey shard.Factory's identical-instances contract; the
+// reference run uses one more instance from the same factory, which is
+// what makes the comparison meaningful for randomized policies.
+func AuditShardedEquiv(g *dag.Graph, procs []int, factory shard.Factory, shardCounts []int) error {
+	ref, err := factory()
+	if err != nil {
+		return fmt.Errorf("verify: sharded-equiv factory: %w", err)
+	}
+	opts := ForScheduler(ref.Name())
+	cfg := sim.Config{Procs: procs, CollectTrace: true}
+	want, err := sim.Run(g, ref, cfg)
+	if err != nil {
+		return fmt.Errorf("verify: sharded-equiv reference run (%s): %w", ref.Name(), err)
+	}
+	if err := Audit(g, cfg, &want, opts); err != nil {
+		return fmt.Errorf("verify: sharded-equiv reference audit (%s): %w", ref.Name(), err)
+	}
+	wantFP := shard.Fingerprint(&want)
+
+	var baseCtr *shard.Counters
+	for _, p := range shardCounts {
+		// Two seeds per shard count: the schedule must not depend on
+		// which goroutine speculates which type.
+		for _, seed := range []int64{1, int64(p)*7919 + 42} {
+			res, ctr, err := shard.RunCounted(g, factory, shard.Config{
+				Shards: p, Seed: seed, Procs: procs, CollectTrace: true,
+			})
+			if err != nil {
+				return fmt.Errorf("verify: sharded run (%s, P=%d, seed=%d): %w", ref.Name(), p, seed, err)
+			}
+			if err := Audit(g, cfg, &res, opts); err != nil {
+				return fmt.Errorf("verify: sharded audit (%s, P=%d, seed=%d): %w", ref.Name(), p, seed, err)
+			}
+			if fp := shard.Fingerprint(&res); fp != wantFP {
+				return fmt.Errorf("verify: sharded engine diverged from sequential engine (%s, P=%d, seed=%d):\n  shard %s (T=%d, decisions=%d)\n  sim   %s (T=%d, decisions=%d)",
+					ref.Name(), p, seed, fp, res.CompletionTime, res.Decisions, wantFP, want.CompletionTime, want.Decisions)
+			}
+			if baseCtr == nil {
+				c := ctr
+				baseCtr = &c
+			} else if ctr != *baseCtr {
+				return fmt.Errorf("verify: sharded concurrency counters not invariant (%s, P=%d, seed=%d): %+v, want %+v",
+					ref.Name(), p, seed, ctr, *baseCtr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhs/internal/core"
+	"fhs/internal/dag"
+	"fhs/internal/sim"
+	"fhs/internal/verify"
+	"fhs/internal/workload"
+)
+
+// shardCounts is the differential battery's shard-count sweep; P=8
+// exceeds both K and the pending-type count, so idle workers and
+// multi-type assignments are both exercised.
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestShardedEquiv runs the sharded-vs-sequential differential oracle
+// across every registered scheduler — the six paper algorithms, the
+// Figure-8 information variants and the verify reference policy — on
+// layered EP and Tree instances. This is the CI shard gate (run under
+// -race by the workflow's dedicated step).
+func TestShardedEquiv(t *testing.T) {
+	names := map[string]bool{"RefGreedy": true}
+	for _, n := range core.Names() {
+		names[n] = true
+	}
+	for _, n := range core.MQBVariantNames() {
+		names[n] = true
+	}
+	for name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			factory := func() (sim.Scheduler, error) {
+				if name == "RefGreedy" {
+					return verify.NewRefGreedy(), nil
+				}
+				return core.New(name, core.Params{Seed: 23})
+			}
+			for _, class := range []workload.Class{workload.EP, workload.Tree} {
+				for _, seed := range []int64{3, 8, 15} {
+					rng := rand.New(rand.NewSource(seed))
+					g, err := workload.Generate(workload.Small(class, 3, workload.Layered), rng)
+					if err != nil {
+						t.Fatalf("generate: %v", err)
+					}
+					if err := verify.AuditShardedEquiv(g, []int{3, 2, 4}, factory, shardCounts); err != nil {
+						t.Errorf("class %v seed %d: %v", class, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEquivCatchesDivergence turns the oracle on a factory that
+// violates the identical-instances contract: a policy whose decisions
+// depend on instance-construction order must be flagged, proving the
+// oracle can actually fail.
+func TestShardedEquivCatchesDivergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := workload.Generate(workload.Small(workload.EP, 3, workload.Layered), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds int64
+	factory := func() (sim.Scheduler, error) {
+		builds++
+		// Distinct seeds per instance break the contract: replicas draw
+		// different noise tables than the reference run.
+		return core.New("MQB+All+Noise", core.Params{Seed: builds})
+	}
+	err = verify.AuditShardedEquiv(g, []int{3, 2, 4}, factory, []int{4})
+	if err == nil {
+		t.Fatal("oracle accepted a contract-violating factory")
+	}
+}
+
+// parityPicker is a synthetic maximally-global policy: its choice
+// within a queue flips on the parity of the total ready work across
+// ALL types, so any stale cross-queue read changes its decisions. It
+// is the sharpest probe for the version check.
+type parityPicker struct{}
+
+func (p *parityPicker) Name() string                         { return "Parity" }
+func (p *parityPicker) Prepare(*dag.Graph, sim.Config) error { return nil }
+func (p *parityPicker) PickIsLocal()                         {}
+func (p *parityPicker) Pick(st *sim.State, alpha dag.Type) (dag.TaskID, bool) {
+	q := st.Ready(alpha)
+	if len(q) == 0 {
+		return dag.NoTask, false
+	}
+	var total int64
+	for a := 0; a < st.K(); a++ {
+		total += st.QueueWork(dag.Type(a))
+	}
+	if total%2 == 0 {
+		return q[0], true
+	}
+	return q[len(q)-1], true
+}
+
+// globalParity hides the (false) PickIsLocal marker so the same policy
+// runs under the full version check.
+type globalParity struct{ sim.Scheduler }
+
+// TestShardedEquivFalseLocalCaught documents that the optimistic
+// version check is load-bearing: a cross-queue-sensitive policy passes
+// the oracle under the full (global-footprint) check, and the same
+// policy falsely declaring LocalPicker is caught as divergence. Single-
+// processor pools keep several types pending concurrently so stale
+// cross-queue reads actually matter.
+func TestShardedEquivFalseLocalCaught(t *testing.T) {
+	honest := func() (sim.Scheduler, error) { return globalParity{&parityPicker{}}, nil }
+	falselyLocal := func() (sim.Scheduler, error) { return &parityPicker{}, nil }
+	caught := false
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := workload.Generate(workload.Small(workload.EP, 3, workload.Layered), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.AuditShardedEquiv(g, []int{1, 1, 1}, honest, []int{4, 8}); err != nil {
+			t.Errorf("seed %d: honest global parity policy failed the oracle: %v", seed, err)
+		}
+		if err := verify.AuditShardedEquiv(g, []int{1, 1, 1}, falselyLocal, []int{4, 8}); err != nil {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Error("falsely-local parity policy never diverged from the sequential engine across 10 instances")
+	}
+}
